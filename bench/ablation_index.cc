@@ -1,0 +1,78 @@
+// Ablation: auxiliary access paths vs the partition join (paper
+// Section 4.1: "we do not assume any sort ordering of input tuples, nor
+// the presence of additional data structures or access paths, where the
+// incremental cost of maintaining a sort order or an access path is
+// hidden from the query evaluation"; Section 1: "our algorithm ... does
+// not require sort orderings or auxiliary access paths, each with
+// additional update costs").
+//
+// Compares the partition join against an index-based join built on the
+// related work's append-only tree [SG89], at increasing long-lived
+// densities: long-lived tuples widen every index range probe (Vs-ordered
+// indexes cannot bound interval *ends*), eroding the index's advantage —
+// while the index's build cost is paid even before the first probe.
+
+#include <vector>
+
+#include "bench_util.h"
+#include "join/indexed_join.h"
+
+namespace tempo::bench {
+namespace {
+
+int Run() {
+  const uint32_t scale = BenchScale() * 4;  // the index join scans wide ranges
+  PrintHeader("Ablation: append-only-tree index join vs partition join "
+              "(scale 1/" + std::to_string(scale) + ")");
+  const uint32_t memory_pages = std::max<uint32_t>(16, 2048 / scale);
+  const CostModel model = CostModel::Ratio(5.0);
+
+  TextTable table({"long-lived", "partition", "indexed (sort+build+probe)",
+                   "index build ops", "inner pages scanned"});
+  for (uint64_t long_lived : {0ull, 16000ull, 64000ull}) {
+    Disk disk;
+    auto r_or = GenerateRelation(
+        &disk, PaperWorkload(scale, long_lived, 2000 + long_lived), "r");
+    auto s_or = GenerateRelation(
+        &disk, PaperWorkload(scale, long_lived, 2100 + long_lived), "s");
+    if (!r_or.ok() || !s_or.ok()) return 1;
+    StoredRelation* r = r_or->get();
+    StoredRelation* s = s_or->get();
+
+    auto pj = RunJoin(Algo::kPartition, r, s, memory_pages, model);
+    if (!pj.ok()) return 1;
+
+    auto layout = DeriveNaturalJoinLayout(r->schema(), s->schema());
+    StoredRelation out(&disk, layout->output, "out.idx");
+    out.SetCharged(false).ok();
+    disk.accountant().Reset();
+    VtJoinOptions options;
+    options.buffer_pages = memory_pages;
+    options.cost_model = model;
+    auto idx = IndexedVtJoin(r, s, &out, options);
+    if (!idx.ok()) {
+      std::fprintf(stderr, "indexed join failed: %s\n",
+                   idx.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow(
+        {FormatWithCommas(static_cast<int64_t>(long_lived / scale)),
+         Fmt(pj->Cost(model)), Fmt(idx->Cost(model)),
+         Fmt(idx->details.at("index_build_io_ops")),
+         Fmt(idx->details.at("inner_pages_scanned"))});
+    disk.DeleteFile(out.file_id()).ok();
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected: without long-lived tuples the index join is competitive\n"
+      "(tight ranges); long-lived tuples widen every probe by the maximum\n"
+      "duration, ballooning the scanned pages — and the sort + build cost\n"
+      "is charged before the first result, the 'additional update costs'\n"
+      "the paper avoids.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tempo::bench
+
+int main() { return tempo::bench::Run(); }

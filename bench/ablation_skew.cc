@@ -1,0 +1,73 @@
+// Ablation A3: the similarity assumption (paper Sections 3.4 and 5).
+//
+// "We made the simplifying assumption ... that the distribution of tuples
+// over valid time was approximately the same for both the inner and outer
+// relations. Obviously, this assumption may not be valid for many
+// applications since gross mis-estimation of tuple caching costs may
+// result."
+//
+// Shifts the inner relation's distribution in time relative to the outer
+// relation (which is the only one sampled) and reports the estimated vs
+// actual tuple-cache traffic and the total cost.
+
+#include <vector>
+
+#include "bench_util.h"
+
+namespace tempo::bench {
+namespace {
+
+int Run() {
+  const uint32_t scale = BenchScale();
+  PrintHeader("Ablation: inner/outer distribution skew (scale 1/" +
+              std::to_string(scale) + ")");
+  const uint32_t memory_pages = 2048 / scale;
+  const CostModel model = CostModel::Ratio(5.0);
+
+  TextTable table({"inner shift", "est cache pages", "actual cache pages",
+                   "cost 5:1", "output tuples"});
+  for (Chronon shift :
+       {Chronon{0}, paper::kLifespan / 8, paper::kLifespan / 4,
+        paper::kLifespan / 2}) {
+    Disk disk;
+    auto r_or = GenerateRelation(&disk, PaperWorkload(scale, 64000, 1300),
+                                 "r");
+    WorkloadSpec s_spec = PaperWorkload(scale, 64000, 1400);
+    s_spec.time_offset = shift;
+    auto s_or = GenerateRelation(&disk, s_spec, "s");
+    if (!r_or.ok() || !s_or.ok()) return 1;
+    StoredRelation* r = r_or->get();
+    StoredRelation* s = s_or->get();
+
+    // Planning estimate (outer samples only).
+    PartitionPlanOptions plan_options;
+    plan_options.buffer_pages = memory_pages;
+    plan_options.cost_model = model;
+    Random rng(42);
+    auto plan = DeterminePartIntervals(r, plan_options, &rng);
+    if (!plan.ok()) return 1;
+    uint64_t est_cache = 0;
+    for (uint64_t m : plan->est_cache_pages) est_cache += m;
+
+    auto stats = RunJoin(Algo::kPartition, r, s, memory_pages, model);
+    if (!stats.ok()) return 1;
+
+    table.AddRow(
+        {FormatWithCommas(shift), FormatWithCommas(static_cast<int64_t>(est_cache)),
+         Fmt(stats->details.at("cache_pages_spilled")),
+         Fmt(stats->Cost(model)),
+         FormatWithCommas(static_cast<int64_t>(stats->output_tuples))});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Expected: as the inner distribution shifts away from the sampled\n"
+      "outer one, the cache estimate drifts from the actual traffic — the\n"
+      "mis-estimation the paper warns about. Correctness never suffers\n"
+      "(output counts stay consistent with the shifted overlap).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tempo::bench
+
+int main() { return tempo::bench::Run(); }

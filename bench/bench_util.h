@@ -1,0 +1,115 @@
+#ifndef TEMPO_BENCH_BENCH_UTIL_H_
+#define TEMPO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/format.h"
+#include "core/partition_join.h"
+#include "join/nested_loop_join.h"
+#include "join/sort_merge_join.h"
+#include "workload/generator.h"
+#include "workload/paper_params.h"
+
+namespace tempo::bench {
+
+/// All figure benches honor TEMPO_BENCH_SCALE: relation cardinalities, the
+/// long-lived counts and the memory axis are divided by it, preserving
+/// every ratio the paper's experiments depend on (the paper itself notes
+/// "we are concerned more with ratios of certain parameters as opposed to
+/// their absolute values"). 1 = the paper's full 32 MiB configuration.
+inline uint32_t BenchScale() {
+  const char* env = std::getenv("TEMPO_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  long v = std::strtol(env, nullptr, 10);
+  return v >= 1 ? static_cast<uint32_t>(v) : 1;
+}
+
+/// The paper's workload (Sections 4.2-4.4) scaled by `scale`:
+/// 262,144 128-byte tuples over a 1,000,000-chronon lifespan, ~10 tuples
+/// per join-attribute value, `long_lived` of them spanning half the
+/// lifespan from a start in the first half.
+inline WorkloadSpec PaperWorkload(uint32_t scale, uint64_t long_lived,
+                                  uint64_t seed) {
+  WorkloadSpec spec;
+  spec.num_tuples = paper::kTuplesPerRelation / scale;
+  spec.num_long_lived = long_lived / scale;
+  spec.lifespan = paper::kLifespan;
+  spec.distinct_keys = paper::kDistinctKeys / scale;
+  spec.tuple_bytes = paper::kTupleBytes;
+  spec.seed = seed;
+  return spec;
+}
+
+enum class Algo { kNestedLoop, kSortMerge, kPartition };
+
+inline const char* AlgoName(Algo a) {
+  switch (a) {
+    case Algo::kNestedLoop:
+      return "nested-loops";
+    case Algo::kSortMerge:
+      return "sort-merge";
+    case Algo::kPartition:
+      return "partition";
+  }
+  return "?";
+}
+
+/// Runs one join. The output relation is uncharged (the paper omits result
+/// I/O, which every algorithm pays identically) and deleted afterwards.
+/// Generation I/O is invisible: the accountant is reset before the run.
+inline StatusOr<JoinRunStats> RunJoin(Algo algo, StoredRelation* r,
+                                      StoredRelation* s, uint32_t buffer_pages,
+                                      const CostModel& model,
+                                      uint64_t seed = 42) {
+  Disk* disk = r->disk();
+  TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout,
+                         DeriveNaturalJoinLayout(r->schema(), s->schema()));
+  StoredRelation out(disk, layout.output, "bench.out");
+  TEMPO_RETURN_IF_ERROR(out.SetCharged(false));
+  disk->accountant().Reset();
+
+  StatusOr<JoinRunStats> stats = Status::Internal("unreachable");
+  switch (algo) {
+    case Algo::kNestedLoop: {
+      VtJoinOptions options;
+      options.buffer_pages = buffer_pages;
+      options.cost_model = model;
+      stats = NestedLoopVtJoin(r, s, &out, options);
+      break;
+    }
+    case Algo::kSortMerge: {
+      VtJoinOptions options;
+      options.buffer_pages = buffer_pages;
+      options.cost_model = model;
+      stats = SortMergeVtJoin(r, s, &out, options);
+      break;
+    }
+    case Algo::kPartition: {
+      PartitionJoinOptions options;
+      options.buffer_pages = buffer_pages;
+      options.cost_model = model;
+      options.seed = seed;
+      stats = PartitionVtJoin(r, s, &out, options);
+      break;
+    }
+  }
+  disk->DeleteFile(out.file_id()).ok();
+  return stats;
+}
+
+/// Formats a weighted cost for table cells.
+inline std::string Fmt(double cost) {
+  return FormatWithCommas(static_cast<int64_t>(cost + 0.5));
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n\n", std::string(title.size(), '=').c_str());
+}
+
+}  // namespace tempo::bench
+
+#endif  // TEMPO_BENCH_BENCH_UTIL_H_

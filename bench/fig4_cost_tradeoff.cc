@@ -1,0 +1,87 @@
+// Reproduces Figure 4: "I/O Cost for Partition Size".
+//
+// The optimizer's cost model evaluated at every candidate partition size
+// for a long-lived-heavy workload: the sampling cost C_sample rises
+// monotonically with partSize (smaller error space needs more samples,
+// plateauing at the in-scan bound), the tuple-cache paging cost falls
+// (larger partitions are overlapped by fewer tuples), and the chosen
+// partition size minimizes the sum (marked "<== min").
+
+#include <limits>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace tempo::bench {
+namespace {
+
+int Run() {
+  const uint32_t scale = BenchScale();
+  PrintHeader("Figure 4: sampling vs tuple-cache cost per partition size "
+              "(scale 1/" + std::to_string(scale) + ")");
+
+  Disk disk;
+  auto r_or = GenerateRelation(&disk, PaperWorkload(scale, 64000, 700), "r");
+  if (!r_or.ok()) {
+    std::fprintf(stderr, "workload generation failed\n");
+    return 1;
+  }
+  StoredRelation* r = r_or->get();
+
+  PartitionPlanOptions options;
+  options.buffer_pages = 2048 / scale;  // 8 MiB
+  options.cost_model = CostModel::Ratio(5.0);
+  Random rng(7);
+  auto curve_or = PartitionCostCurve(r, options, &rng);
+  if (!curve_or.ok()) {
+    std::fprintf(stderr, "cost curve failed: %s\n",
+                 curve_or.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<PartitionCostPoint>& curve = *curve_or;
+
+  double best = std::numeric_limits<double>::infinity();
+  size_t best_idx = 0;
+  for (size_t i = 0; i < curve.size(); ++i) {
+    if (curve[i].total() <= best) {
+      best = curve[i].total();
+      best_idx = i;
+    }
+  }
+
+  TextTable table({"partSize", "partitions", "samples", "C_sample",
+                   "C_cache", "C_partition", "sum", ""});
+  // Print a readable subset: every k-th candidate plus the minimum.
+  size_t step = curve.size() > 24 ? curve.size() / 24 : 1;
+  for (size_t i = 0; i < curve.size(); ++i) {
+    if (i % step != 0 && i != best_idx && i != curve.size() - 1) continue;
+    const PartitionCostPoint& p = curve[i];
+    table.AddRow({std::to_string(p.part_size_pages),
+                  std::to_string(p.num_partitions),
+                  FormatWithCommas(static_cast<int64_t>(p.required_samples)),
+                  Fmt(p.c_sample), Fmt(p.c_cache), Fmt(p.c_partition),
+                  Fmt(p.total()), i == best_idx ? "<== min" : ""});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  // The monotonicity properties the figure illustrates.
+  bool sample_monotone = true, cache_monotone = true;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].c_sample + 1e-9 < curve[i - 1].c_sample) {
+      sample_monotone = false;
+    }
+    if (curve[i].c_cache > curve[i - 1].c_cache + 1e-9) {
+      cache_monotone = false;
+    }
+  }
+  std::printf("C_sample non-decreasing in partSize: %s\n",
+              sample_monotone ? "yes" : "no");
+  std::printf("C_cache  non-increasing in partSize: %s\n",
+              cache_monotone ? "yes" : "no");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tempo::bench
+
+int main() { return tempo::bench::Run(); }

@@ -1,0 +1,85 @@
+// Microbenchmarks: the valid-time algebra operators.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/aggregation.h"
+#include "algebra/operators.h"
+#include "common/random.h"
+
+namespace tempo {
+namespace {
+
+Schema NumSchema() {
+  return Schema({{"key", ValueType::kInt64}, {"amount", ValueType::kInt64}});
+}
+
+std::vector<Tuple> MakeTuples(size_t n, int64_t keys, uint64_t seed) {
+  Random rng(seed);
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Chronon s = rng.UniformRange(0, 100000);
+    out.push_back(Tuple({Value(static_cast<int64_t>(rng.Uniform(keys))),
+                         Value(rng.UniformRange(0, 1000))},
+                        Interval(s, s + rng.UniformRange(0, 500))));
+  }
+  return out;
+}
+
+void BM_Coalesce(benchmark::State& state) {
+  auto tuples = MakeTuples(static_cast<size_t>(state.range(0)), 50, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Coalesce(tuples).size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Coalesce)->Arg(1024)->Arg(16384);
+
+void BM_Timeslice(benchmark::State& state) {
+  auto tuples = MakeTuples(16384, 50, 2);
+  Chronon t = 50000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Timeslice(tuples, t).size());
+  }
+  state.SetItemsProcessed(state.iterations() * 16384);
+}
+BENCHMARK(BM_Timeslice);
+
+void BM_TemporalAggregateCount(benchmark::State& state) {
+  auto tuples = MakeTuples(static_cast<size_t>(state.range(0)), 10, 3);
+  AggregationSpec spec;
+  spec.fn = AggregateFn::kCount;
+  spec.group_by = {0};
+  for (auto _ : state) {
+    auto result = TemporalAggregate(NumSchema(), tuples, spec);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TemporalAggregateCount)->Arg(1024)->Arg(16384);
+
+void BM_TemporalAggregateMin(benchmark::State& state) {
+  auto tuples = MakeTuples(16384, 10, 4);
+  AggregationSpec spec;
+  spec.fn = AggregateFn::kMin;
+  spec.value_attr = 1;
+  for (auto _ : state) {
+    auto result = TemporalAggregate(NumSchema(), tuples, spec);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 16384);
+}
+BENCHMARK(BM_TemporalAggregateMin);
+
+void BM_VtDifference(benchmark::State& state) {
+  auto a = MakeTuples(8192, 20, 5);
+  auto b = MakeTuples(8192, 20, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(VtDifference(a, b).size());
+  }
+  state.SetItemsProcessed(state.iterations() * 16384);
+}
+BENCHMARK(BM_VtDifference);
+
+}  // namespace
+}  // namespace tempo

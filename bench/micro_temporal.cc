@@ -1,0 +1,78 @@
+// Microbenchmarks: interval primitives (the inner loop of every join).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "temporal/allen.h"
+#include "temporal/interval.h"
+#include "temporal/interval_set.h"
+
+namespace tempo {
+namespace {
+
+std::vector<Interval> MakeIntervals(size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<Interval> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Chronon s = rng.UniformRange(0, 1000000);
+    out.push_back(Interval(s, s + rng.UniformRange(0, 5000)));
+  }
+  return out;
+}
+
+void BM_IntervalOverlaps(benchmark::State& state) {
+  auto ivs = MakeIntervals(1024, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Interval& a = ivs[i % ivs.size()];
+    const Interval& b = ivs[(i * 7 + 3) % ivs.size()];
+    benchmark::DoNotOptimize(a.Overlaps(b));
+    ++i;
+  }
+}
+BENCHMARK(BM_IntervalOverlaps);
+
+void BM_IntervalIntersect(benchmark::State& state) {
+  auto ivs = MakeIntervals(1024, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto common = Overlap(ivs[i % ivs.size()], ivs[(i * 5 + 1) % ivs.size()]);
+    benchmark::DoNotOptimize(common);
+    ++i;
+  }
+}
+BENCHMARK(BM_IntervalIntersect);
+
+void BM_ClassifyAllen(benchmark::State& state) {
+  auto ivs = MakeIntervals(1024, 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ClassifyAllen(ivs[i % ivs.size()], ivs[(i * 11 + 5) % ivs.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ClassifyAllen);
+
+void BM_IntervalSetNormalize(benchmark::State& state) {
+  auto ivs = MakeIntervals(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    IntervalSet set(ivs);
+    benchmark::DoNotOptimize(set.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IntervalSetNormalize)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_IntervalSetDifference(benchmark::State& state) {
+  IntervalSet a(MakeIntervals(static_cast<size_t>(state.range(0)), 5));
+  IntervalSet b(MakeIntervals(static_cast<size_t>(state.range(0)), 6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Difference(b).size());
+  }
+}
+BENCHMARK(BM_IntervalSetDifference)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace tempo

@@ -1,0 +1,126 @@
+#include "algebra/operators.h"
+
+#include <algorithm>
+#include <map>
+
+namespace tempo {
+
+namespace {
+
+// Groups tuples by their explicit-attribute values. Keys are serialized
+// value lists; std::map gives deterministic group order.
+std::map<std::string, std::vector<const Tuple*>> GroupByValue(
+    const std::vector<Tuple>& tuples) {
+  std::map<std::string, std::vector<const Tuple*>> groups;
+  for (const Tuple& t : tuples) {
+    std::string key;
+    for (const Value& v : t.values()) {
+      key += v.ToString();
+      key.push_back('\x1f');
+    }
+    groups[key].push_back(&t);
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<Tuple> Coalesce(const std::vector<Tuple>& tuples) {
+  std::vector<Tuple> out;
+  for (auto& [key, group] : GroupByValue(tuples)) {
+    std::vector<Interval> intervals;
+    intervals.reserve(group.size());
+    for (const Tuple* t : group) intervals.push_back(t->interval());
+    IntervalSet merged(std::move(intervals));
+    for (const Interval& iv : merged.intervals()) {
+      out.push_back(Tuple(group.front()->values(), iv));
+    }
+  }
+  return out;
+}
+
+std::vector<Tuple> Timeslice(const std::vector<Tuple>& tuples, Chronon t) {
+  std::vector<Tuple> out;
+  for (const Tuple& tuple : tuples) {
+    if (tuple.interval().Contains(t)) {
+      out.push_back(Tuple(tuple.values(), Interval::At(t)));
+    }
+  }
+  return out;
+}
+
+std::vector<Tuple> SelectAllen(const std::vector<Tuple>& tuples,
+                               AllenRelation rel, const Interval& q) {
+  std::vector<Tuple> out;
+  for (const Tuple& t : tuples) {
+    if (ClassifyAllen(t.interval(), q) == rel) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<Tuple> Select(const std::vector<Tuple>& tuples,
+                          const std::function<bool(const Tuple&)>& pred) {
+  std::vector<Tuple> out;
+  for (const Tuple& t : tuples) {
+    if (pred(t)) out.push_back(t);
+  }
+  return out;
+}
+
+StatusOr<std::pair<Schema, std::vector<Tuple>>> Project(
+    const Schema& schema, const std::vector<Tuple>& tuples,
+    const std::vector<size_t>& attrs) {
+  std::vector<Attribute> out_attrs;
+  for (size_t pos : attrs) {
+    if (pos >= schema.num_attributes()) {
+      return Status::InvalidArgument("projection position out of range: " +
+                                     std::to_string(pos));
+    }
+    out_attrs.push_back(schema.attribute(pos));
+  }
+  TEMPO_ASSIGN_OR_RETURN(Schema out_schema, Schema::Make(out_attrs));
+  std::vector<Tuple> projected;
+  projected.reserve(tuples.size());
+  for (const Tuple& t : tuples) {
+    std::vector<Value> values;
+    values.reserve(attrs.size());
+    for (size_t pos : attrs) values.push_back(t.value(pos));
+    projected.push_back(Tuple(std::move(values), t.interval()));
+  }
+  return std::make_pair(std::move(out_schema), Coalesce(projected));
+}
+
+std::vector<Tuple> VtUnion(const std::vector<Tuple>& r,
+                           const std::vector<Tuple>& s) {
+  std::vector<Tuple> all = r;
+  all.insert(all.end(), s.begin(), s.end());
+  return Coalesce(all);
+}
+
+std::vector<Tuple> VtDifference(const std::vector<Tuple>& r,
+                                const std::vector<Tuple>& s) {
+  // For each value-group of r, subtract the time covered by the matching
+  // value-group of s.
+  auto s_groups = GroupByValue(s);
+  std::vector<Tuple> out;
+  for (auto& [key, group] : GroupByValue(r)) {
+    std::vector<Interval> r_ivs;
+    for (const Tuple* t : group) r_ivs.push_back(t->interval());
+    IntervalSet r_set(std::move(r_ivs));
+
+    IntervalSet s_set;
+    auto it = s_groups.find(key);
+    if (it != s_groups.end()) {
+      std::vector<Interval> s_ivs;
+      for (const Tuple* t : it->second) s_ivs.push_back(t->interval());
+      s_set = IntervalSet(std::move(s_ivs));
+    }
+    IntervalSet remainder = r_set.Difference(s_set);
+    for (const Interval& iv : remainder.intervals()) {
+      out.push_back(Tuple(group.front()->values(), iv));
+    }
+  }
+  return out;
+}
+
+}  // namespace tempo

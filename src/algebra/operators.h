@@ -1,0 +1,56 @@
+#ifndef TEMPO_ALGEBRA_OPERATORS_H_
+#define TEMPO_ALGEBRA_OPERATORS_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/statusor.h"
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "temporal/allen.h"
+#include "temporal/interval_set.h"
+
+namespace tempo {
+
+/// Coalescing [JSS92a]: merges value-equivalent tuples (equal on all
+/// explicit attributes) whose validity intervals overlap or are adjacent
+/// into maximal-interval tuples. The output is the canonical form used to
+/// compare valid-time relations for snapshot equivalence; result order is
+/// deterministic (grouped by value, intervals ascending).
+std::vector<Tuple> Coalesce(const std::vector<Tuple>& tuples);
+
+/// Valid-timeslice τ_t(r): the tuples valid at chronon `t`, their
+/// timestamps collapsed to [t, t]. This is how a snapshot state is
+/// reconstructed from a valid-time relation.
+std::vector<Tuple> Timeslice(const std::vector<Tuple>& tuples, Chronon t);
+
+/// Valid-time selection on the timestamp: keeps tuples whose validity
+/// interval stands in relation `rel` to the query interval `q`
+/// (e.g. kDuring for "valid entirely within q").
+std::vector<Tuple> SelectAllen(const std::vector<Tuple>& tuples,
+                               AllenRelation rel, const Interval& q);
+
+/// Valid-time selection with an arbitrary predicate over the tuple.
+std::vector<Tuple> Select(const std::vector<Tuple>& tuples,
+                          const std::function<bool(const Tuple&)>& pred);
+
+/// Valid-time projection π_attrs(r): keeps the attribute positions in
+/// `attrs` (in the given order) and coalesces the result, since dropping
+/// attributes can make previously distinct tuples value-equivalent.
+/// Returns the projected schema alongside the tuples.
+StatusOr<std::pair<Schema, std::vector<Tuple>>> Project(
+    const Schema& schema, const std::vector<Tuple>& tuples,
+    const std::vector<size_t>& attrs);
+
+/// Valid-time union / difference with coalesced results.
+std::vector<Tuple> VtUnion(const std::vector<Tuple>& r,
+                           const std::vector<Tuple>& s);
+
+/// Tuples of r restricted to the time not covered by value-equivalent
+/// tuples of s (temporal difference r -ᵗ s).
+std::vector<Tuple> VtDifference(const std::vector<Tuple>& r,
+                                const std::vector<Tuple>& s);
+
+}  // namespace tempo
+
+#endif  // TEMPO_ALGEBRA_OPERATORS_H_

@@ -1,0 +1,37 @@
+#ifndef TEMPO_COMMON_ASSERT_H_
+#define TEMPO_COMMON_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tempo::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "TEMPO_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace tempo::internal
+
+/// Always-on invariant check. Used for programming errors that must never
+/// occur regardless of input data (e.g. dereferencing an error StatusOr).
+/// Data-dependent failures use Status returns instead.
+#define TEMPO_CHECK(cond)                                      \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::tempo::internal::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                                          \
+  } while (false)
+
+/// Debug-only invariant check; compiled out in NDEBUG builds. Used on hot
+/// paths where the check cost matters.
+#ifdef NDEBUG
+#define TEMPO_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define TEMPO_DCHECK(cond) TEMPO_CHECK(cond)
+#endif
+
+#endif  // TEMPO_COMMON_ASSERT_H_

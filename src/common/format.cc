@@ -1,0 +1,102 @@
+#include "common/format.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace tempo {
+
+std::string FormatWithCommas(int64_t n) {
+  bool negative = n < 0;
+  uint64_t v = negative ? (~static_cast<uint64_t>(n) + 1) : static_cast<uint64_t>(n);
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  uint64_t v = bytes;
+  while (v >= 1024 && v % 1024 == 0 && unit < 4) {
+    v /= 1024;
+    ++unit;
+  }
+  if (v >= 1024) {  // Not an exact multiple; fall back to one decimal.
+    double d = static_cast<double>(v);
+    while (d >= 1024.0 && unit < 4) {
+      d /= 1024.0;
+      ++unit;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f %s", d, kUnits[unit]);
+    return buf;
+  }
+  return std::to_string(v) + " " + kUnits[unit];
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  TEMPO_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) line += "  ";
+      line += row[i];
+      line.append(widths[i] - row[i].size(), ' ');
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line.push_back('\n');
+    return line;
+  };
+  std::string out = render_row(header_);
+  size_t rule_len = 0;
+  for (size_t i = 0; i < widths.size(); ++i) {
+    rule_len += widths[i] + (i != 0 ? 2 : 0);
+  }
+  out.append(rule_len, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string TextTable::ToCsv() const {
+  auto render = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) line.push_back(',');
+      line += row[i];
+    }
+    line.push_back('\n');
+    return line;
+  };
+  std::string out = render(header_);
+  for (const auto& row : rows_) out += render(row);
+  return out;
+}
+
+}  // namespace tempo

@@ -1,0 +1,42 @@
+#ifndef TEMPO_COMMON_FORMAT_H_
+#define TEMPO_COMMON_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tempo {
+
+/// Formats `n` with thousands separators: 1234567 -> "1,234,567".
+std::string FormatWithCommas(int64_t n);
+
+/// Formats a byte count using binary units: 33554432 -> "32 MiB".
+std::string FormatBytes(uint64_t bytes);
+
+/// Minimal fixed-width text table writer used by the benchmark harnesses to
+/// print paper-style result tables.
+///
+///   TextTable t({"memory", "sort-merge", "partition"});
+///   t.AddRow({"1 MiB", "123456", "65432"});
+///   std::cout << t.ToString();
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with columns padded to their widest cell and a rule
+  /// under the header.
+  std::string ToString() const;
+
+  /// Renders as comma-separated values (for plotting).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_COMMON_FORMAT_H_

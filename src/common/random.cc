@@ -1,0 +1,48 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace tempo {
+
+std::vector<uint64_t> Random::SampleWithoutReplacement(uint64_t n,
+                                                       uint64_t k) {
+  TEMPO_CHECK(k <= n);
+  // Floyd's algorithm: for j in [n-k, n), pick t uniform in [0, j]; insert t
+  // unless already present, else insert j. Produces a uniform k-subset.
+  std::unordered_set<uint64_t> chosen;
+  chosen.reserve(static_cast<size_t>(k) * 2);
+  std::vector<uint64_t> result;
+  result.reserve(static_cast<size_t>(k));
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = Uniform(j + 1);
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) {
+  TEMPO_CHECK(n > 0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+uint64_t ZipfGenerator::Next(Random& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace tempo

@@ -1,0 +1,118 @@
+#ifndef TEMPO_COMMON_RANDOM_H_
+#define TEMPO_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace tempo {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**).
+///
+/// All stochastic behaviour in the library (sampling, workload generation)
+/// flows through an explicitly passed Random so experiments are reproducible
+/// from a seed. Satisfies the UniformRandomBitGenerator concept.
+class Random {
+ public:
+  using result_type = uint64_t;
+
+  explicit Random(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator. Uses splitmix64 to expand the seed into the
+  /// four 64-bit words of xoshiro state; any seed (including 0) is valid.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next raw 64-bit value.
+  uint64_t operator()() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// nearly-divisionless method.
+  uint64_t Uniform(uint64_t bound) {
+    TEMPO_DCHECK(bound > 0);
+    while (true) {
+      uint64_t x = (*this)();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      uint64_t low = static_cast<uint64_t>(m);
+      if (low >= bound || low >= (-bound) % bound) {
+        return static_cast<uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    TEMPO_DCHECK(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    // span == 0 means the full 64-bit range.
+    uint64_t off = (span == 0) ? (*this)() : Uniform(span);
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) + off);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return ((*this)() >> 11) * 0x1.0p-53; }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Draws `k` distinct indices uniformly from [0, n) in O(k) expected time
+  /// (Floyd's algorithm). Requires k <= n. The result is not sorted.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// Zipf-distributed integer generator over [0, n) with exponent `theta`.
+/// Precomputes the harmonic normalization once; each draw is O(log n) via
+/// binary search over the CDF.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Random& rng) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i)
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_COMMON_RANDOM_H_

@@ -1,0 +1,101 @@
+#ifndef TEMPO_COMMON_STATUS_H_
+#define TEMPO_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tempo {
+
+/// Result codes used across the library. The library does not throw
+/// exceptions on its regular control paths; fallible operations return a
+/// Status (or StatusOr<T>, see statusor.h) instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kCorruption,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+  kNotSupported,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
+/// ...). Never returns null.
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success/error result.
+///
+/// The OK status carries no allocation. Error statuses carry a code and a
+/// message. Typical use:
+///
+///   Status s = file.Read(page_no, &page);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  std::string_view message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace tempo
+
+/// Propagates a non-OK Status to the caller. Usable in functions returning
+/// Status or StatusOr<T>.
+#define TEMPO_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::tempo::Status _tempo_status = (expr);        \
+    if (!_tempo_status.ok()) return _tempo_status; \
+  } while (false)
+
+#endif  // TEMPO_COMMON_STATUS_H_

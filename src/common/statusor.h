@@ -1,0 +1,89 @@
+#ifndef TEMPO_COMMON_STATUSOR_H_
+#define TEMPO_COMMON_STATUSOR_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/status.h"
+
+namespace tempo {
+
+/// Holds either a value of type T or an error Status. Mirrors
+/// absl::StatusOr / arrow::Result.
+///
+///   StatusOr<PageId> id = file.Append(page);
+///   if (!id.ok()) return id.status();
+///   Use(*id);
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK: an OK StatusOr must
+  /// carry a value.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    TEMPO_CHECK(!status_.ok());
+  }
+
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); checked in all builds.
+  const T& value() const& {
+    TEMPO_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    TEMPO_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    TEMPO_CHECK(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    if (ok()) return *value_;
+    return fallback;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tempo
+
+/// Evaluates `expr` (a StatusOr<T>), propagating errors; on success binds the
+/// value to `lhs`. `lhs` may include a declaration, e.g.
+///   TEMPO_ASSIGN_OR_RETURN(auto page_id, file.Append(p));
+#define TEMPO_ASSIGN_OR_RETURN(lhs, expr)                      \
+  TEMPO_ASSIGN_OR_RETURN_IMPL_(                                \
+      TEMPO_STATUS_CONCAT_(_tempo_statusor, __LINE__), lhs, expr)
+
+#define TEMPO_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                                 \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).value()
+
+#define TEMPO_STATUS_CONCAT_(a, b) TEMPO_STATUS_CONCAT_IMPL_(a, b)
+#define TEMPO_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // TEMPO_COMMON_STATUSOR_H_

@@ -1,0 +1,65 @@
+#ifndef TEMPO_CORE_CHOOSE_INTERVALS_H_
+#define TEMPO_CORE_CHOOSE_INTERVALS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition_spec.h"
+#include "temporal/interval.h"
+
+namespace tempo {
+
+/// Algorithm chooseIntervals (Appendix A.3): derives a partitioning of
+/// valid time from a set of sampled validity intervals such that each
+/// partition covers (approximately) an equal share of the sampled
+/// *chronon-coverage multiset* — the multiset containing every chronon of
+/// every sampled interval. Long-lived samples therefore pull boundaries
+/// apart in their region, equalizing expected partition cardinality.
+///
+/// The paper's pseudocode materializes and sorts that multiset; for
+/// long-lived tuples that is O(duration) per sample, so this
+/// implementation computes the same equi-depth quantile boundaries with an
+/// endpoint sweep in O(samples · log samples): coverage is piecewise
+/// constant between interval endpoints, and the q-th boundary is found by
+/// walking the accumulated weight. The resulting spec is identical to what
+/// the pseudocode's sorted multiset would yield.
+///
+/// The first and last partitions are extended to ±inf so the spec covers
+/// the whole line even where no sample fell (the inner relation may have
+/// tuples outside the sampled range).
+///
+/// Degenerate inputs collapse gracefully: fewer distinct boundary chronons
+/// than requested partitions yields fewer partitions; empty samples or
+/// num_partitions <= 1 yield the trivial single-partition spec.
+PartitionSpec ChooseIntervals(const std::vector<Interval>& samples,
+                              uint32_t num_partitions);
+
+/// Precomputed form of ChooseIntervals: builds the coverage segments once
+/// (O(m log m)) and answers Choose(k) for any k in O(k + segments). The
+/// optimizer examines many candidate partition counts over the same
+/// growing sample set, so it rebuilds this index only when new samples
+/// arrive instead of re-sorting per candidate.
+class CoverageIndex {
+ public:
+  explicit CoverageIndex(const std::vector<Interval>& samples);
+
+  /// Same result as ChooseIntervals(samples, num_partitions).
+  PartitionSpec Choose(uint32_t num_partitions) const;
+
+  bool empty() const { return segments_.empty(); }
+
+ private:
+  struct Segment {
+    Chronon start;
+    Chronon end;                   // inclusive
+    int64_t coverage;              // > 0
+    unsigned __int128 cum_before;  // multiset positions before this segment
+  };
+
+  std::vector<Segment> segments_;
+  unsigned __int128 total_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_CORE_CHOOSE_INTERVALS_H_

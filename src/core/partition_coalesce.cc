@@ -1,0 +1,142 @@
+#include "core/partition_coalesce.h"
+
+#include <map>
+
+#include "core/determine_part_intervals.h"
+#include "core/grace_partitioner.h"
+#include "temporal/interval_set.h"
+
+namespace tempo {
+
+namespace {
+
+/// Value-equivalence key: the serialized explicit attributes.
+std::string ValueKey(const Tuple& t) {
+  std::string key;
+  for (const Value& v : t.values()) {
+    key += v.ToString();
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+struct Group {
+  std::vector<Value> values;
+  std::vector<Interval> intervals;
+};
+
+}  // namespace
+
+StatusOr<JoinRunStats> PartitionCoalesce(StoredRelation* in,
+                                         StoredRelation* out,
+                                         const PartitionJoinOptions& options) {
+  if (in == nullptr || out == nullptr) {
+    return Status::InvalidArgument("inputs must be non-null");
+  }
+  if (!(out->schema() == in->schema())) {
+    return Status::InvalidArgument("output schema must match the input's");
+  }
+  if (in->HasUnflushedAppends()) {
+    return Status::FailedPrecondition("input must be flushed");
+  }
+  Disk* disk = in->disk();
+  IoAccountant& acct = disk->accountant();
+  IoStats before = acct.stats();
+
+  Random rng(options.seed);
+  PartitionPlanOptions plan_options;
+  plan_options.buffer_pages = options.buffer_pages;
+  plan_options.cost_model = options.cost_model;
+  plan_options.kolmogorov_critical = options.kolmogorov_critical;
+  plan_options.in_scan_sampling = options.in_scan_sampling;
+  plan_options.forced_num_partitions = options.forced_num_partitions;
+  TEMPO_ASSIGN_OR_RETURN(PartitionPlan plan,
+                         DeterminePartIntervals(in, plan_options, &rng));
+
+  JoinRunStats stats;
+  uint64_t carried_runs = 0;
+
+  // Helper shared by the single- and multi-partition paths: merge one
+  // bucket of tuples and split the merged runs into emitted / carried.
+  auto process_group = [&](Group& group, const Interval& p_i, bool last_step,
+                           std::map<std::string, Group>* carry,
+                           const std::string& key) -> Status {
+    IntervalSet merged(std::move(group.intervals));
+    std::vector<Interval> kept;
+    for (const Interval& run : merged.intervals()) {
+      if (last_step || run.start() > p_i.start()) {
+        TEMPO_RETURN_IF_ERROR(out->Append(Tuple(group.values, run)));
+      } else {
+        kept.push_back(run);
+        ++carried_runs;
+      }
+    }
+    if (!kept.empty()) {
+      Group g;
+      g.values = std::move(group.values);
+      g.intervals = std::move(kept);
+      (*carry)[key] = std::move(g);
+    }
+    return Status::OK();
+  };
+
+  if (plan.num_partitions <= 1) {
+    // Fits in memory: one pass.
+    std::map<std::string, Group> groups;
+    auto scan = in->Scan();
+    Tuple t;
+    while (true) {
+      TEMPO_ASSIGN_OR_RETURN(bool more, scan.Next(&t));
+      if (!more) break;
+      Group& g = groups[ValueKey(t)];
+      if (g.values.empty()) g.values = t.values();
+      g.intervals.push_back(t.interval());
+    }
+    for (auto& [key, group] : groups) {
+      TEMPO_RETURN_IF_ERROR(process_group(group, Interval::All(),
+                                          /*last_step=*/true, nullptr, key));
+    }
+  } else {
+    TEMPO_ASSIGN_OR_RETURN(
+        PartitionedRelation parts,
+        GracePartition(in, plan.spec, options.buffer_pages,
+                       PlacementPolicy::kLastOverlap, in->name() + ".co"));
+
+    std::map<std::string, Group> carry;
+    const size_t n = plan.spec.num_partitions();
+    for (size_t ii = n; ii-- > 0;) {
+      const Interval& p_i = plan.spec.partition(ii);
+      const bool last_step = ii == 0;
+      // Fold this partition's tuples into the carried groups.
+      std::map<std::string, Group> groups = std::move(carry);
+      carry.clear();
+      StoredRelation* part = parts.parts[ii].get();
+      for (uint32_t p = 0; p < part->num_pages(); ++p) {
+        Page page;
+        TEMPO_RETURN_IF_ERROR(part->ReadPage(p, &page));
+        std::vector<Tuple> decoded;
+        TEMPO_RETURN_IF_ERROR(
+            StoredRelation::DecodePage(in->schema(), page, &decoded));
+        for (Tuple& t : decoded) {
+          Group& g = groups[ValueKey(t)];
+          if (g.values.empty()) g.values = t.values();
+          g.intervals.push_back(t.interval());
+        }
+      }
+      for (auto& [key, group] : groups) {
+        TEMPO_RETURN_IF_ERROR(
+            process_group(group, p_i, last_step, &carry, key));
+      }
+    }
+    parts.Drop();
+  }
+  TEMPO_RETURN_IF_ERROR(out->Flush());
+
+  stats.io = acct.stats() - before;
+  stats.output_tuples = out->num_tuples();
+  stats.details["partitions"] = static_cast<double>(plan.num_partitions);
+  stats.details["carried_runs"] = static_cast<double>(carried_runs);
+  return stats;
+}
+
+}  // namespace tempo

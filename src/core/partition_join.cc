@@ -1,0 +1,352 @@
+#include "core/partition_join.h"
+
+#include <algorithm>
+
+#include "core/tuple_cache.h"
+
+namespace tempo {
+
+namespace {
+
+// Conservative per-record page overhead used to convert the outer-area
+// page budget into bytes.
+constexpr size_t kSlotOverhead = 4;
+constexpr size_t kPagePayload = kPageSize - 4;
+
+/// The outer partition area: decoded tuples plus byte accounting, with a
+/// probe index over the current contents.
+class OuterArea {
+ public:
+  explicit OuterArea(const std::vector<size_t>* key_attrs)
+      : index_(&tuples_, key_attrs) {}
+
+  void Clear() {
+    tuples_.clear();
+    bytes_ = 0;
+  }
+
+  void PurgeNotOverlapping(const Interval& p) {
+    size_t kept = 0;
+    for (size_t i = 0; i < tuples_.size(); ++i) {
+      if (tuples_[i].interval().Overlaps(p)) {
+        if (kept != i) tuples_[kept] = std::move(tuples_[i]);
+        ++kept;
+      }
+    }
+    tuples_.resize(kept);
+  }
+
+  void Add(Tuple t, const Schema& schema) {
+    bytes_ += t.SerializedSize(schema) + kSlotOverhead;
+    tuples_.push_back(std::move(t));
+  }
+
+  void RecomputeBytes(const Schema& schema) {
+    bytes_ = 0;
+    for (const Tuple& t : tuples_) {
+      bytes_ += t.SerializedSize(schema) + kSlotOverhead;
+    }
+  }
+
+  void RebuildIndex() { index_.Rebuild(&tuples_); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t bytes() const { return bytes_; }
+  HashedTupleIndex& index() { return index_; }
+
+ private:
+  std::vector<Tuple> tuples_;
+  size_t bytes_ = 0;
+  HashedTupleIndex index_;
+};
+
+}  // namespace
+
+StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
+                                      const PartitionSpec& spec,
+                                      PartitionedRelation* pr,
+                                      PartitionedRelation* ps,
+                                      StoredRelation* out,
+                                      uint32_t buffer_pages,
+                                      PlacementPolicy placement,
+                                      IntervalJoinPredicate predicate,
+                                      uint32_t cache_memory_pages) {
+  const size_t n = spec.num_partitions();
+  if (pr->parts.size() != n || ps->parts.size() != n) {
+    return Status::InvalidArgument(
+        "partitioned relations do not match the partition spec");
+  }
+  if (buffer_pages < 4) {
+    return Status::InvalidArgument(
+        "joinPartitions needs at least 4 buffer pages");
+  }
+  Disk* disk = out->disk();
+  IoAccountant& acct = disk->accountant();
+  IoStats before = acct.stats();
+
+  const Schema& r_schema = pr->parts.empty() ? out->schema()
+                                             : pr->parts[0]->schema();
+  const Schema& s_schema = ps->parts.empty() ? out->schema()
+                                             : ps->parts[0]->schema();
+  if (cache_memory_pages == 0) cache_memory_pages = 1;
+  // Figure 3 layout: one inner page, one result page, cache_memory_pages
+  // for the tuple cache (normally 1), and the rest is partition area.
+  const uint32_t reserved = 2 + cache_memory_pages;
+  const size_t area_bytes =
+      static_cast<size_t>(
+          buffer_pages > reserved ? buffer_pages - reserved : 1) *
+      kPagePayload;
+  const bool migrate = placement == PlacementPolicy::kLastOverlap;
+
+  ResultWriter writer(out);
+  OuterArea outer(&layout.r_join_attrs);
+  TupleCache cache(disk, s_schema, out->name() + ".gen",
+                   cache_memory_pages);  // consumed generation
+  uint64_t cache_pages_spilled = 0;
+  uint64_t cache_tuples = 0;
+  uint64_t overflow_chunks = 0;
+
+  // Computation proceeds from r_n |X| s_n down to r_1 |X| s_1.
+  for (size_t ii = n; ii-- > 0;) {
+    const Interval& p_i = spec.partition(ii);
+    const bool has_prev = ii > 0;
+    const Interval* p_prev = has_prev ? &spec.partition(ii - 1) : nullptr;
+
+    // 1. Purge retained outer tuples that do not overlap p_i, then read
+    //    the physical partition r_i into the area.
+    if (migrate) {
+      outer.PurgeNotOverlapping(p_i);
+      outer.RecomputeBytes(r_schema);
+    } else {
+      outer.Clear();  // replicated partitions are self-contained
+    }
+    {
+      StoredRelation* part = pr->parts[ii].get();
+      const uint32_t pages = part->num_pages();
+      std::vector<Tuple> decoded;
+      for (uint32_t p = 0; p < pages; ++p) {
+        Page page;
+        TEMPO_RETURN_IF_ERROR(part->ReadPage(p, &page));
+        decoded.clear();
+        TEMPO_RETURN_IF_ERROR(
+            StoredRelation::DecodePage(r_schema, page, &decoded));
+        for (Tuple& t : decoded) outer.Add(std::move(t), r_schema);
+      }
+    }
+
+    // Overflow handling: process the outer area in memory-sized chunks;
+    // each chunk beyond the first re-reads the inner inputs (thrashing).
+    const size_t total = outer.tuples().size();
+    size_t chunk_tuples = total;
+    if (outer.bytes() > area_bytes && total > 0) {
+      double avg = static_cast<double>(outer.bytes()) / total;
+      chunk_tuples = std::max<size_t>(
+          1, static_cast<size_t>(static_cast<double>(area_bytes) / avg));
+    }
+
+    TupleCache next_gen(disk, s_schema,
+                        out->name() + ".gen" + std::to_string(ii),
+                        cache_memory_pages);
+
+    auto emit_matches = [&](const HashedTupleIndex& index,
+                            const Tuple& y) -> Status {
+      Status status = Status::OK();
+      index.ForEachMatch(y, layout.s_join_attrs, [&](const Tuple& x) {
+        if (!status.ok()) return;
+        auto common = Overlap(x.interval(), y.interval());
+        if (!common) return;
+        // De-duplication: emit only in the partition containing the end
+        // of the overlap — both tuples are present there exactly once.
+        if (!p_i.Contains(common->end())) return;
+        if (!EvalIntervalPredicate(predicate, x.interval(), y.interval())) {
+          return;
+        }
+        status = writer.Emit(layout, x, y, *common);
+      });
+      return status;
+    };
+
+    for (size_t chunk_start = 0; chunk_start < std::max<size_t>(total, 1);
+         chunk_start += std::max<size_t>(chunk_tuples, 1)) {
+      const bool first_chunk = chunk_start == 0;
+      if (!first_chunk) ++overflow_chunks;
+      // Chunk view: rebuild the index over [chunk_start, chunk_end).
+      std::vector<Tuple> chunk_vec;
+      HashedTupleIndex* index = &outer.index();
+      HashedTupleIndex chunk_index(&chunk_vec, &layout.r_join_attrs);
+      if (chunk_tuples < total) {
+        size_t chunk_end = std::min(total, chunk_start + chunk_tuples);
+        chunk_vec.assign(outer.tuples().begin() + chunk_start,
+                         outer.tuples().begin() + chunk_end);
+        chunk_index.Rebuild(&chunk_vec);
+        index = &chunk_index;
+      } else {
+        outer.RebuildIndex();
+      }
+
+      // 2. Join with the in-memory cache page of the consumed generation.
+      if (migrate) {
+        for (const Tuple& y : cache.memory_tuples()) {
+          TEMPO_RETURN_IF_ERROR(emit_matches(*index, y));
+          if (first_chunk && has_prev && y.interval().Overlaps(*p_prev)) {
+            TEMPO_RETURN_IF_ERROR(next_gen.Add(y));
+          }
+        }
+        // 3. Join with each spilled page of the consumed generation.
+        for (uint32_t c = 0; c < cache.spilled_pages(); ++c) {
+          TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> cached,
+                                 cache.ReadSpilledPage(c));
+          for (const Tuple& y : cached) {
+            TEMPO_RETURN_IF_ERROR(emit_matches(*index, y));
+            if (first_chunk && has_prev && y.interval().Overlaps(*p_prev)) {
+              TEMPO_RETURN_IF_ERROR(next_gen.Add(y));
+            }
+          }
+        }
+      }
+
+      // 4. Join with each page of s_i.
+      {
+        StoredRelation* part = ps->parts[ii].get();
+        const uint32_t pages = part->num_pages();
+        std::vector<Tuple> decoded;
+        for (uint32_t p = 0; p < pages; ++p) {
+          Page page;
+          TEMPO_RETURN_IF_ERROR(part->ReadPage(p, &page));
+          decoded.clear();
+          TEMPO_RETURN_IF_ERROR(
+              StoredRelation::DecodePage(s_schema, page, &decoded));
+          for (const Tuple& y : decoded) {
+            TEMPO_RETURN_IF_ERROR(emit_matches(*index, y));
+            if (migrate && first_chunk && has_prev &&
+                y.interval().Overlaps(*p_prev)) {
+              TEMPO_RETURN_IF_ERROR(next_gen.Add(y));
+            }
+          }
+        }
+      }
+      if (total == 0) break;
+    }
+
+    cache_pages_spilled += next_gen.spilled_pages();
+    cache_tuples += next_gen.num_tuples();
+    TEMPO_RETURN_IF_ERROR(cache.Discard());
+    cache = std::move(next_gen);
+  }
+  TEMPO_RETURN_IF_ERROR(cache.Discard());
+  TEMPO_RETURN_IF_ERROR(writer.Finish());
+
+  JoinRunStats stats;
+  stats.io = acct.stats() - before;
+  stats.output_tuples = writer.count();
+  stats.details["cache_pages_spilled"] =
+      static_cast<double>(cache_pages_spilled);
+  stats.details["cache_tuples"] = static_cast<double>(cache_tuples);
+  stats.details["overflow_chunks"] = static_cast<double>(overflow_chunks);
+  return stats;
+}
+
+StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
+                                       StoredRelation* out,
+                                       const PartitionJoinOptions& options) {
+  TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout, PrepareJoin(r, s, out));
+  if (options.buffer_pages < 4) {
+    return Status::InvalidArgument(
+        "partition join needs at least 4 buffer pages");
+  }
+  Disk* disk = r->disk();
+  IoAccountant& acct = disk->accountant();
+  IoStats before = acct.stats();
+  Random rng(options.seed);
+
+  // Phase 1: determine the partitioning intervals (samples are charged).
+  PartitionPlanOptions plan_options;
+  plan_options.buffer_pages = options.buffer_pages;
+  plan_options.cost_model = options.cost_model;
+  plan_options.kolmogorov_critical = options.kolmogorov_critical;
+  plan_options.in_scan_sampling = options.in_scan_sampling;
+  plan_options.forced_num_partitions = options.forced_num_partitions;
+  TEMPO_ASSIGN_OR_RETURN(PartitionPlan plan,
+                         DeterminePartIntervals(r, plan_options, &rng));
+
+  JoinRunStats stats;
+  if (plan.num_partitions <= 1) {
+    // The outer relation fits in the partition area: no partitioning I/O;
+    // read r into memory and stream s past it.
+    OuterArea outer(&layout.r_join_attrs);
+    const uint32_t pages = r->num_pages();
+    std::vector<Tuple> decoded;
+    for (uint32_t p = 0; p < pages; ++p) {
+      Page page;
+      TEMPO_RETURN_IF_ERROR(r->ReadPage(p, &page));
+      decoded.clear();
+      TEMPO_RETURN_IF_ERROR(
+          StoredRelation::DecodePage(r->schema(), page, &decoded));
+      for (Tuple& t : decoded) outer.Add(std::move(t), r->schema());
+    }
+    outer.RebuildIndex();
+    ResultWriter writer(out);
+    const uint32_t s_pages = s->num_pages();
+    for (uint32_t p = 0; p < s_pages; ++p) {
+      Page page;
+      TEMPO_RETURN_IF_ERROR(s->ReadPage(p, &page));
+      decoded.clear();
+      TEMPO_RETURN_IF_ERROR(
+          StoredRelation::DecodePage(s->schema(), page, &decoded));
+      for (const Tuple& y : decoded) {
+        Status status = Status::OK();
+        outer.index().ForEachMatch(y, layout.s_join_attrs,
+                                   [&](const Tuple& x) {
+          if (!status.ok()) return;
+          auto common = Overlap(x.interval(), y.interval());
+          if (!common) return;
+          if (!EvalIntervalPredicate(options.predicate, x.interval(),
+                                     y.interval())) {
+            return;
+          }
+          status = writer.Emit(layout, x, y, *common);
+        });
+        TEMPO_RETURN_IF_ERROR(status);
+      }
+    }
+    TEMPO_RETURN_IF_ERROR(writer.Finish());
+    stats.output_tuples = writer.count();
+  } else {
+    // Phase 2: Grace-partition both inputs with the same intervals.
+    TEMPO_ASSIGN_OR_RETURN(
+        PartitionedRelation pr,
+        GracePartition(r, plan.spec, options.buffer_pages, options.placement,
+                       r->name()));
+    TEMPO_ASSIGN_OR_RETURN(
+        PartitionedRelation ps,
+        GracePartition(s, plan.spec, options.buffer_pages, options.placement,
+                       s->name()));
+    stats.details["partition_pages_written"] =
+        static_cast<double>(pr.TotalPages() + ps.TotalPages());
+    stats.details["tuples_written"] =
+        static_cast<double>(pr.tuples_written + ps.tuples_written);
+
+    // Phase 3: join corresponding partitions.
+    TEMPO_ASSIGN_OR_RETURN(
+        JoinRunStats join_stats,
+        JoinPartitions(layout, plan.spec, &pr, &ps, out, options.buffer_pages,
+                       options.placement, options.predicate,
+                       options.tuple_cache_memory_pages));
+    stats.output_tuples = join_stats.output_tuples;
+    for (const auto& [k, v] : join_stats.details) stats.details[k] = v;
+    pr.Drop();
+    ps.Drop();
+  }
+
+  stats.io = acct.stats() - before;
+  stats.details["partitions"] = static_cast<double>(plan.num_partitions);
+  stats.details["part_size_pages"] =
+      static_cast<double>(plan.part_size_pages);
+  stats.details["samples"] = static_cast<double>(plan.samples_drawn);
+  stats.details["sampled_by_scan"] = plan.sampled_by_scan ? 1.0 : 0.0;
+  stats.details["est_sample_cost"] = plan.est_sample_cost;
+  stats.details["est_join_cost"] = plan.est_join_cost;
+  return stats;
+}
+
+}  // namespace tempo

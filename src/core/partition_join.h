@@ -1,0 +1,107 @@
+#ifndef TEMPO_CORE_PARTITION_JOIN_H_
+#define TEMPO_CORE_PARTITION_JOIN_H_
+
+#include "core/determine_part_intervals.h"
+#include "core/grace_partitioner.h"
+#include "join/join_common.h"
+#include "temporal/interval_predicate.h"
+
+namespace tempo {
+
+/// Options for the partition-based valid-time natural join.
+struct PartitionJoinOptions {
+  /// Total main-memory budget in pages (Figure 3: buffSize pages of outer
+  /// partition area + one page each for the inner buffer, tuple cache and
+  /// result).
+  uint32_t buffer_pages = 2048;
+
+  CostModel cost_model = CostModel::Ratio(5.0);
+
+  uint64_t seed = 42;
+
+  /// See PartitionPlanOptions.
+  double kolmogorov_critical = KolmogorovCritical::k99;
+  bool in_scan_sampling = true;
+  uint32_t forced_num_partitions = 0;
+
+  /// kLastOverlap is the paper's algorithm; kReplicate is the
+  /// Leung-Muntz ablation baseline.
+  PlacementPolicy placement = PlacementPolicy::kLastOverlap;
+
+  /// Timestamp predicate. kOverlap yields the valid-time natural join;
+  /// the other overlap-implying predicates of the temporal-join family
+  /// (Section 4.1) reuse the same partitioning machinery.
+  IntervalJoinPredicate predicate = IntervalJoinPredicate::kOverlap;
+
+  /// In-memory pages reserved for the tuple cache (Figure 3 reserves one).
+  /// Raising this trades outer-partition area for cache space, the
+  /// Section 5 future-work knob (see bench/ablation_cache_reserve).
+  uint32_t tuple_cache_memory_pages = 1;
+
+  VtJoinOptions ToVtJoinOptions() const {
+    VtJoinOptions o;
+    o.buffer_pages = buffer_pages;
+    o.cost_model = cost_model;
+    o.seed = seed;
+    return o;
+  }
+};
+
+/// Joins two already-partitioned relations (algorithm joinPartitions,
+/// Appendix A.1), processing partitions from p_n down to p_1:
+///
+///   for i = n .. 1:
+///     purge outer-area tuples not overlapping p_i; read partition r_i
+///     join the outer area with the in-memory cache page, then with each
+///       spilled tuple-cache page, then with each page of s_i;
+///     inner tuples overlapping p_{i-1} are retained into the next cache
+///       generation (spilling page-by-page);
+///     outer tuples overlapping p_{i-1} stay in the outer area.
+///
+/// Every result pair is emitted exactly once: a pair is produced only in
+/// the partition containing the *end* of its overlap interval — both
+/// tuples are guaranteed present there, and in no earlier-processed
+/// partition is the rule satisfied. (The paper does not spell out its
+/// de-duplication rule; DESIGN.md discusses this choice.)
+///
+/// If an outer partition exceeds the partition area (a sampling-error
+/// overflow — "the correctness of the join algorithm is not affected —
+/// only performance will suffer", Section 3.4), the partition is processed
+/// in area-sized chunks, re-reading s_i and the spilled cache for each
+/// extra chunk: that re-reading is precisely the thrashing cost.
+///
+/// Detail keys in JoinRunStats: "cache_pages_spilled", "cache_tuples",
+/// "overflow_chunks".
+StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
+                                      const PartitionSpec& spec,
+                                      PartitionedRelation* pr,
+                                      PartitionedRelation* ps,
+                                      StoredRelation* out,
+                                      uint32_t buffer_pages,
+                                      PlacementPolicy placement,
+                                      IntervalJoinPredicate predicate =
+                                          IntervalJoinPredicate::kOverlap,
+                                      uint32_t cache_memory_pages = 1);
+
+/// The paper's contribution, end to end (Figure 2):
+///
+///   partInterals  <- determinePartIntervals(buffSize, |r|, |s|)
+///   r_parts       <- doPartitioning(r, partIntervals)
+///   s_parts       <- doPartitioning(s, partIntervals)
+///   return joinPartitions(r_parts, s_parts, partIntervals)
+///
+/// A relation that fits in memory short-circuits to a single in-memory
+/// pass (no partitioning I/O at all). All sampling, partitioning and join
+/// I/O is charged to the disk's accountant and reported in the returned
+/// stats.
+///
+/// Detail keys (in addition to JoinPartitions'): "partitions",
+/// "part_size_pages", "samples", "sampled_by_scan", "est_sample_cost",
+/// "est_join_cost", "partition_pages_written".
+StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
+                                       StoredRelation* out,
+                                       const PartitionJoinOptions& options);
+
+}  // namespace tempo
+
+#endif  // TEMPO_CORE_PARTITION_JOIN_H_

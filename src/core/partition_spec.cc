@@ -1,0 +1,72 @@
+#include "core/partition_spec.h"
+
+#include <algorithm>
+
+namespace tempo {
+
+PartitionSpec::PartitionSpec() : parts_{Interval::All()} {}
+
+StatusOr<PartitionSpec> PartitionSpec::FromBoundaries(
+    const std::vector<Chronon>& boundaries) {
+  for (size_t i = 1; i < boundaries.size(); ++i) {
+    if (boundaries[i] <= boundaries[i - 1]) {
+      return Status::InvalidArgument(
+          "partition boundaries must be strictly increasing");
+    }
+  }
+  if (!boundaries.empty() && boundaries.back() == kChrononMax) {
+    return Status::InvalidArgument(
+        "boundary at +inf would create an empty partition");
+  }
+  std::vector<Interval> parts;
+  parts.reserve(boundaries.size() + 1);
+  Chronon lo = kChrononMin;
+  for (Chronon b : boundaries) {
+    parts.push_back(Interval(lo, b));
+    lo = b + 1;
+  }
+  parts.push_back(Interval(lo, kChrononMax));
+  return PartitionSpec(std::move(parts));
+}
+
+StatusOr<PartitionSpec> PartitionSpec::FromIntervals(
+    std::vector<Interval> parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("partitioning must be non-empty");
+  }
+  if (parts.front().start() != kChrononMin ||
+      parts.back().end() != kChrononMax) {
+    return Status::InvalidArgument(
+        "partitioning must cover the whole valid-time line");
+  }
+  for (size_t i = 1; i < parts.size(); ++i) {
+    if (parts[i - 1].end() == kChrononMax ||
+        parts[i].start() != parts[i - 1].end() + 1) {
+      return Status::InvalidArgument(
+          "partitions must be adjacent and non-overlapping");
+    }
+  }
+  return PartitionSpec(std::move(parts));
+}
+
+size_t PartitionSpec::IndexOf(Chronon t) const {
+  // First partition whose end >= t.
+  auto it = std::lower_bound(
+      parts_.begin(), parts_.end(), t,
+      [](const Interval& p, Chronon v) { return p.end() < v; });
+  TEMPO_DCHECK(it != parts_.end());
+  TEMPO_DCHECK(it->Contains(t));
+  return static_cast<size_t>(it - parts_.begin());
+}
+
+std::string PartitionSpec::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += parts_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace tempo

@@ -1,0 +1,69 @@
+#ifndef TEMPO_CORE_PARTITION_SPEC_H_
+#define TEMPO_CORE_PARTITION_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "temporal/interval.h"
+
+namespace tempo {
+
+/// A partitioning P of valid time (paper Section 3.3): an ordered set of n
+/// non-overlapping intervals p_1 < p_2 < ... < p_n that completely covers
+/// the valid-time line. Every tuple therefore overlaps at least one
+/// partitioning interval; a tuple overlapping several is the paper's
+/// *long-lived tuple*.
+class PartitionSpec {
+ public:
+  /// The trivial single-partition spec (whole line).
+  PartitionSpec();
+
+  /// Builds the spec from interior boundary chronons b_1 < ... < b_{n-1}:
+  /// partitions are [-inf, b_1], [b_1+1, b_2], ..., [b_{n-1}+1, +inf].
+  /// Duplicate or unsorted boundaries are rejected.
+  static StatusOr<PartitionSpec> FromBoundaries(
+      const std::vector<Chronon>& boundaries);
+
+  /// Validates an explicit interval list: ordered, disjoint, gap-free,
+  /// covering [-inf, +inf].
+  static StatusOr<PartitionSpec> FromIntervals(std::vector<Interval> parts);
+
+  size_t num_partitions() const { return parts_.size(); }
+  const Interval& partition(size_t i) const { return parts_[i]; }
+  const std::vector<Interval>& partitions() const { return parts_; }
+
+  /// Index of the unique partition containing chronon `t`. O(log n).
+  size_t IndexOf(Chronon t) const;
+
+  /// First (earliest) partition overlapping `iv` — the paper's
+  /// earliestOverlap. O(log n).
+  size_t FirstOverlapping(const Interval& iv) const { return IndexOf(iv.start()); }
+
+  /// Last (latest) partition overlapping `iv` — the paper's latestOverlap,
+  /// and the partition a tuple is physically stored in (Section 3.3).
+  size_t LastOverlapping(const Interval& iv) const { return IndexOf(iv.end()); }
+
+  /// Number of partitions `iv` overlaps (>= 1). A result > 1 makes the
+  /// tuple long-lived under this spec.
+  size_t OverlapCount(const Interval& iv) const {
+    return LastOverlapping(iv) - FirstOverlapping(iv) + 1;
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const PartitionSpec& other) const {
+    return parts_ == other.parts_;
+  }
+
+ private:
+  explicit PartitionSpec(std::vector<Interval> parts)
+      : parts_(std::move(parts)) {}
+
+  std::vector<Interval> parts_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_CORE_PARTITION_SPEC_H_

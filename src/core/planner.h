@@ -1,0 +1,71 @@
+#ifndef TEMPO_CORE_PLANNER_H_
+#define TEMPO_CORE_PLANNER_H_
+
+#include <string>
+
+#include "core/partition_join.h"
+#include "join/join_common.h"
+
+namespace tempo {
+
+/// The evaluation strategies for the valid-time natural join.
+enum class JoinAlgorithm {
+  kNestedLoop,
+  kSortMerge,
+  kPartition,
+};
+
+const char* JoinAlgorithmName(JoinAlgorithm a);
+
+/// One algorithm's planner estimate.
+struct JoinEstimate {
+  JoinAlgorithm algorithm;
+  double estimated_cost = 0.0;
+  std::string rationale;
+};
+
+/// The planner's decision: the chosen algorithm plus every candidate's
+/// estimate (sorted best-first) for EXPLAIN-style introspection.
+struct JoinPlan {
+  JoinAlgorithm algorithm;
+  std::vector<JoinEstimate> candidates;
+};
+
+/// Analytic I/O cost estimates, catalog-only (no data access):
+///
+///  - nested-loops: the paper's exact closed form
+///    (NestedLoopAnalyticCost);
+///  - sort-merge: run formation + merge passes + co-scan, assuming no
+///    back-up (optimistic for long-lived-heavy data — the planner cannot
+///    see interval distributions without sampling, which is exactly the
+///    partition join's own planning trick);
+///  - partition join: one sampling scan bound + Grace write/read of both
+///    inputs + inner scan (cache traffic unknown, omitted; also
+///    optimistic, to the same degree).
+///
+/// The estimates are deliberately cheap and coarse; tests pin their
+/// regime behaviour (nested-loops wins when an input fits in memory,
+/// partition join wins in the paper's big-inputs/modest-memory regime).
+double EstimateNestedLoopCost(uint32_t pages_r, uint32_t pages_s,
+                              uint32_t buffer_pages, const CostModel& model);
+double EstimateSortMergeCost(uint32_t pages_r, uint32_t pages_s,
+                             uint32_t buffer_pages, const CostModel& model);
+double EstimatePartitionJoinCost(uint32_t pages_r, uint32_t pages_s,
+                                 uint32_t buffer_pages,
+                                 const CostModel& model);
+
+/// Ranks the three algorithms for r |X|_v s under `options` and returns
+/// the full ranking.
+JoinPlan PlanVtJoin(StoredRelation* r, StoredRelation* s,
+                    const VtJoinOptions& options);
+
+/// Plans, then executes the chosen algorithm. The returned stats carry
+/// the usual executor details plus "planned_algorithm" (0=NL, 1=SM,
+/// 2=PJ) and "planned_cost".
+StatusOr<JoinRunStats> ExecuteVtJoin(StoredRelation* r, StoredRelation* s,
+                                     StoredRelation* out,
+                                     const VtJoinOptions& options);
+
+}  // namespace tempo
+
+#endif  // TEMPO_CORE_PLANNER_H_

@@ -1,0 +1,57 @@
+#include "core/tuple_cache.h"
+
+namespace tempo {
+
+namespace {
+// Conservative per-record page overhead: 4-byte slot.
+constexpr size_t kSlotOverhead = 4;
+constexpr size_t kPagePayload = kPageSize - 4;
+}  // namespace
+
+TupleCache::TupleCache(Disk* disk, const Schema& schema, std::string name,
+                       uint32_t memory_pages)
+    : disk_(disk),
+      schema_(schema),
+      name_(std::move(name)),
+      memory_pages_(memory_pages == 0 ? 1 : memory_pages) {}
+
+Status TupleCache::Add(const Tuple& t) {
+  size_t bytes = t.SerializedSize(schema_) + kSlotOverhead;
+  if (memory_bytes_ + bytes > kPagePayload * memory_pages_ &&
+      !memory_.empty()) {
+    // The in-memory cache area is full: flush it to the spill file and
+    // start afresh.
+    if (spill_ == nullptr) {
+      spill_ = std::make_unique<StoredRelation>(disk_, schema_,
+                                                name_ + ".cache");
+    }
+    for (const Tuple& cached : memory_) {
+      TEMPO_RETURN_IF_ERROR(spill_->Append(cached));
+    }
+    TEMPO_RETURN_IF_ERROR(spill_->Flush());
+    memory_.clear();
+    memory_bytes_ = 0;
+  }
+  memory_.push_back(t);
+  memory_bytes_ += bytes;
+  ++total_tuples_;
+  return Status::OK();
+}
+
+StatusOr<std::vector<Tuple>> TupleCache::ReadSpilledPage(uint32_t page_no) {
+  TEMPO_CHECK(spill_ != nullptr);
+  return spill_->ReadPageTuples(page_no);
+}
+
+Status TupleCache::Discard() {
+  if (spill_ != nullptr) {
+    TEMPO_RETURN_IF_ERROR(disk_->DeleteFile(spill_->file_id()));
+    spill_.reset();
+  }
+  memory_.clear();
+  memory_bytes_ = 0;
+  total_tuples_ = 0;
+  return Status::OK();
+}
+
+}  // namespace tempo

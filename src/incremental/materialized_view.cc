@@ -1,0 +1,264 @@
+#include "incremental/materialized_view.h"
+
+#include "core/determine_part_intervals.h"
+
+namespace tempo {
+
+MaterializedVtJoinView::MaterializedVtJoinView(Disk* disk, std::string name)
+    : disk_(disk), name_(std::move(name)) {
+  TEMPO_CHECK(disk != nullptr);
+}
+
+MaterializedVtJoinView::~MaterializedVtJoinView() {
+  auto drop = [&](std::vector<std::unique_ptr<StoredRelation>>& v) {
+    for (auto& rel : v) {
+      if (rel != nullptr) disk_->DeleteFile(rel->file_id()).ok();
+    }
+  };
+  drop(r_side_.parts);
+  drop(r_side_.caches);
+  drop(s_side_.parts);
+  drop(s_side_.caches);
+  drop(results_);
+}
+
+Status MaterializedVtJoinView::Build(StoredRelation* r, StoredRelation* s,
+                                     uint32_t buffer_pages, uint64_t seed) {
+  if (built_) return Status::FailedPrecondition("view already built");
+  TEMPO_ASSIGN_OR_RETURN(layout_,
+                         DeriveNaturalJoinLayout(r->schema(), s->schema()));
+
+  // Plan the partitioning (sampling charged, as in the join itself).
+  Random rng(seed);
+  PartitionPlanOptions plan_options;
+  plan_options.buffer_pages = buffer_pages;
+  TEMPO_ASSIGN_OR_RETURN(PartitionPlan plan,
+                         DeterminePartIntervals(r, plan_options, &rng));
+  spec_ = plan.spec;
+  const size_t n = spec_.num_partitions();
+
+  auto init_side = [&](Side& side, const Schema& schema,
+                       std::vector<size_t>* keys, const char* tag) {
+    side.schema = schema;
+    side.keys = keys;
+    for (size_t i = 0; i < n; ++i) {
+      side.parts.push_back(std::make_unique<StoredRelation>(
+          disk_, schema, name_ + "." + tag + ".part" + std::to_string(i)));
+      side.caches.push_back(std::make_unique<StoredRelation>(
+          disk_, schema, name_ + "." + tag + ".cache" + std::to_string(i)));
+    }
+  };
+  init_side(r_side_, r->schema(), &layout_.r_join_attrs, "r");
+  init_side(s_side_, s->schema(), &layout_.s_join_attrs, "s");
+  for (size_t i = 0; i < n; ++i) {
+    results_.push_back(std::make_unique<StoredRelation>(
+        disk_, layout_.output, name_ + ".result" + std::to_string(i)));
+  }
+
+  // Load base contents: last-overlap placement plus persistent caches for
+  // every earlier overlapped partition.
+  auto load = [&](Side& side, StoredRelation* input) -> Status {
+    auto scan = input->Scan();
+    Tuple t;
+    while (true) {
+      TEMPO_ASSIGN_OR_RETURN(bool more, scan.Next(&t));
+      if (!more) break;
+      size_t first = spec_.FirstOverlapping(t.interval());
+      size_t last = spec_.LastOverlapping(t.interval());
+      TEMPO_RETURN_IF_ERROR(side.parts[last]->Append(t));
+      for (size_t i = first; i < last; ++i) {
+        TEMPO_RETURN_IF_ERROR(side.caches[i]->Append(t));
+      }
+    }
+    for (auto& p : side.parts) TEMPO_RETURN_IF_ERROR(p->Flush());
+    for (auto& c : side.caches) TEMPO_RETURN_IF_ERROR(c->Flush());
+    return Status::OK();
+  };
+  TEMPO_RETURN_IF_ERROR(load(r_side_, r));
+  TEMPO_RETURN_IF_ERROR(load(s_side_, s));
+
+  built_ = true;
+  for (size_t i = 0; i < n; ++i) {
+    TEMPO_RETURN_IF_ERROR(RecomputePartitionResult(i));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<Tuple>> MaterializedVtJoinView::VisibleTuples(Side& side,
+                                                                   size_t i) {
+  TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
+                         side.parts[i]->ReadAll());
+  TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> cached,
+                         side.caches[i]->ReadAll());
+  tuples.insert(tuples.end(), cached.begin(), cached.end());
+  return tuples;
+}
+
+Status MaterializedVtJoinView::RecomputePartitionResult(size_t i) {
+  result_tuples_ -= results_[i]->num_tuples();
+  TEMPO_RETURN_IF_ERROR(results_[i]->Clear());
+  TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> r_tuples,
+                         VisibleTuples(r_side_, i));
+  TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> s_tuples,
+                         VisibleTuples(s_side_, i));
+  const Interval& p_i = spec_.partition(i);
+  HashedTupleIndex index(&r_tuples, &layout_.r_join_attrs);
+  Status status = Status::OK();
+  for (const Tuple& y : s_tuples) {
+    index.ForEachMatch(y, layout_.s_join_attrs, [&](const Tuple& x) {
+      if (!status.ok()) return;
+      auto common = Overlap(x.interval(), y.interval());
+      if (!common) return;
+      if (!p_i.Contains(common->end())) return;  // exactly-once rule
+      status = results_[i]->Append(MakeJoinTuple(layout_, x, y, *common));
+    });
+    TEMPO_RETURN_IF_ERROR(status);
+  }
+  TEMPO_RETURN_IF_ERROR(results_[i]->Flush());
+  result_tuples_ += results_[i]->num_tuples();
+  return Status::OK();
+}
+
+Status MaterializedVtJoinView::InsertInto(Side& side, Side& other,
+                                          bool side_is_r, const Tuple& t,
+                                          UpdateStats* stats) {
+  if (!built_) return Status::FailedPrecondition("view not built");
+  size_t first = spec_.FirstOverlapping(t.interval());
+  size_t last = spec_.LastOverlapping(t.interval());
+  stats->partitions_touched = last - first + 1;
+
+  // Store: last-overlap partition plus the earlier caches.
+  TEMPO_RETURN_IF_ERROR(side.parts[last]->Append(t));
+  TEMPO_RETURN_IF_ERROR(side.parts[last]->Flush());
+  for (size_t i = first; i < last; ++i) {
+    TEMPO_RETURN_IF_ERROR(side.caches[i]->Append(t));
+    TEMPO_RETURN_IF_ERROR(side.caches[i]->Flush());
+  }
+
+  // Delta join: t against the opposite side of each overlapped partition;
+  // the exactly-once rule localizes each new pair to one partition.
+  std::vector<Tuple> probe{t};
+  HashedTupleIndex probe_index(&probe, side.keys);
+  for (size_t i = first; i <= last; ++i) {
+    const Interval& p_i = spec_.partition(i);
+    TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> others,
+                           VisibleTuples(other, i));
+    Status status = Status::OK();
+    for (const Tuple& y : others) {
+      probe_index.ForEachMatch(y, *other.keys, [&](const Tuple& x) {
+        if (!status.ok()) return;
+        auto common = Overlap(x.interval(), y.interval());
+        if (!common) return;
+        if (!p_i.Contains(common->end())) return;
+        Tuple result = side_is_r ? MakeJoinTuple(layout_, x, y, *common)
+                                 : MakeJoinTuple(layout_, y, x, *common);
+        status = results_[i]->Append(result);
+        if (status.ok()) {
+          ++stats->result_delta;
+          ++result_tuples_;
+        }
+      });
+      TEMPO_RETURN_IF_ERROR(status);
+    }
+    TEMPO_RETURN_IF_ERROR(results_[i]->Flush());
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> MaterializedVtJoinView::RemoveTuple(StoredRelation* rel,
+                                                   const Tuple& t) {
+  TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> all, rel->ReadAll());
+  bool removed = false;
+  std::vector<Tuple> kept;
+  kept.reserve(all.size());
+  for (Tuple& existing : all) {
+    if (!removed && existing == t) {
+      removed = true;
+      continue;
+    }
+    kept.push_back(std::move(existing));
+  }
+  if (!removed) return false;
+  TEMPO_RETURN_IF_ERROR(rel->Clear());
+  TEMPO_RETURN_IF_ERROR(rel->AppendAll(kept));
+  return true;
+}
+
+Status MaterializedVtJoinView::DeleteFrom(Side& side, Side& other,
+                                          bool side_is_r, const Tuple& t,
+                                          UpdateStats* stats) {
+  (void)other;
+  (void)side_is_r;
+  if (!built_) return Status::FailedPrecondition("view not built");
+  size_t first = spec_.FirstOverlapping(t.interval());
+  size_t last = spec_.LastOverlapping(t.interval());
+  stats->partitions_touched = last - first + 1;
+
+  TEMPO_ASSIGN_OR_RETURN(bool removed, RemoveTuple(side.parts[last].get(), t));
+  if (!removed) return Status::NotFound("tuple not in view: " + t.ToString());
+  for (size_t i = first; i < last; ++i) {
+    TEMPO_ASSIGN_OR_RETURN(bool cache_removed,
+                           RemoveTuple(side.caches[i].get(), t));
+    if (!cache_removed) {
+      return Status::Internal("cache out of sync with partition storage");
+    }
+  }
+  // Partition-local recomputation (Section 3.1).
+  for (size_t i = first; i <= last; ++i) {
+    TEMPO_RETURN_IF_ERROR(RecomputePartitionResult(i));
+    stats->result_delta += results_[i]->num_tuples();
+  }
+  return Status::OK();
+}
+
+StatusOr<MaterializedVtJoinView::UpdateStats> MaterializedVtJoinView::InsertR(
+    const Tuple& t) {
+  UpdateStats stats;
+  IoStats before = disk_->accountant().stats();
+  TEMPO_RETURN_IF_ERROR(
+      InsertInto(r_side_, s_side_, /*side_is_r=*/true, t, &stats));
+  stats.io = disk_->accountant().stats() - before;
+  return stats;
+}
+
+StatusOr<MaterializedVtJoinView::UpdateStats> MaterializedVtJoinView::InsertS(
+    const Tuple& t) {
+  UpdateStats stats;
+  IoStats before = disk_->accountant().stats();
+  TEMPO_RETURN_IF_ERROR(
+      InsertInto(s_side_, r_side_, /*side_is_r=*/false, t, &stats));
+  stats.io = disk_->accountant().stats() - before;
+  return stats;
+}
+
+StatusOr<MaterializedVtJoinView::UpdateStats> MaterializedVtJoinView::DeleteR(
+    const Tuple& t) {
+  UpdateStats stats;
+  IoStats before = disk_->accountant().stats();
+  TEMPO_RETURN_IF_ERROR(
+      DeleteFrom(r_side_, s_side_, /*side_is_r=*/true, t, &stats));
+  stats.io = disk_->accountant().stats() - before;
+  return stats;
+}
+
+StatusOr<MaterializedVtJoinView::UpdateStats> MaterializedVtJoinView::DeleteS(
+    const Tuple& t) {
+  UpdateStats stats;
+  IoStats before = disk_->accountant().stats();
+  TEMPO_RETURN_IF_ERROR(
+      DeleteFrom(s_side_, r_side_, /*side_is_r=*/false, t, &stats));
+  stats.io = disk_->accountant().stats() - before;
+  return stats;
+}
+
+StatusOr<std::vector<Tuple>> MaterializedVtJoinView::ReadResult() {
+  if (!built_) return Status::FailedPrecondition("view not built");
+  std::vector<Tuple> all;
+  for (auto& part : results_) {
+    TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> chunk, part->ReadAll());
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  return all;
+}
+
+}  // namespace tempo

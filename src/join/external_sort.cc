@@ -1,0 +1,249 @@
+#include "join/external_sort.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace tempo {
+
+namespace {
+
+bool TupleVsLess(const Tuple& a, const Tuple& b) {
+  return IntervalStartLess()(a.interval(), b.interval());
+}
+
+/// Reads one run (a Vs-sorted relation) through a multi-page input buffer:
+/// each refill fetches `buffer_pages` consecutive pages (1 random +
+/// (c-1) sequential I/Os).
+class RunReader {
+ public:
+  RunReader(StoredRelation* run, uint32_t buffer_pages)
+      : run_(run), buffer_pages_(buffer_pages == 0 ? 1 : buffer_pages) {}
+
+  /// Fetches the next tuple; returns false at end of run.
+  StatusOr<bool> Next(Tuple* out) {
+    if (pos_ >= buffered_.size()) {
+      TEMPO_RETURN_IF_ERROR(Refill());
+      if (buffered_.empty()) return false;
+    }
+    *out = std::move(buffered_[pos_++]);
+    return true;
+  }
+
+ private:
+  Status Refill() {
+    buffered_.clear();
+    pos_ = 0;
+    uint32_t end = next_page_ + buffer_pages_;
+    if (end > run_->num_pages()) end = run_->num_pages();
+    for (; next_page_ < end; ++next_page_) {
+      Page page;
+      TEMPO_RETURN_IF_ERROR(run_->ReadPage(next_page_, &page));
+      TEMPO_RETURN_IF_ERROR(
+          StoredRelation::DecodePage(run_->schema(), page, &buffered_));
+    }
+    return Status::OK();
+  }
+
+  StoredRelation* run_;
+  uint32_t buffer_pages_;
+  uint32_t next_page_ = 0;
+  std::vector<Tuple> buffered_;
+  size_t pos_ = 0;
+};
+
+/// Merges `runs` into `out`, optionally collecting page metadata. Buffer
+/// budget: each input run and the output each get
+/// buffer_pages / (runs + 1) pages (at least 1).
+Status MergeRuns(std::vector<std::unique_ptr<StoredRelation>>& runs,
+                 uint32_t buffer_pages, StoredRelation* out,
+                 std::vector<SortedPageMeta>* meta) {
+  uint32_t per_stream =
+      std::max<uint32_t>(1, buffer_pages / (static_cast<uint32_t>(runs.size()) + 1));
+  std::vector<RunReader> readers;
+  readers.reserve(runs.size());
+  for (auto& run : runs) readers.emplace_back(run.get(), per_stream);
+
+  struct HeapEntry {
+    Tuple tuple;
+    size_t stream;
+  };
+  auto heap_greater = [](const HeapEntry& a, const HeapEntry& b) {
+    return TupleVsLess(b.tuple, a.tuple);
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      decltype(heap_greater)>
+      heap(heap_greater);
+
+  for (size_t i = 0; i < readers.size(); ++i) {
+    Tuple t;
+    TEMPO_ASSIGN_OR_RETURN(bool more, readers[i].Next(&t));
+    if (more) heap.push(HeapEntry{std::move(t), i});
+  }
+
+  // Track metadata per output page. StoredRelation flushes a page whenever
+  // the next tuple does not fit, so we mirror its pagination by watching
+  // num_pages() grow.
+  uint32_t pages_before = out->num_pages();
+  SortedPageMeta current{0, 0, 0};
+  bool have_current = false;
+
+  auto close_page = [&]() {
+    if (meta != nullptr && have_current) meta->push_back(current);
+    have_current = false;
+  };
+
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    TEMPO_RETURN_IF_ERROR(out->Append(top.tuple));
+    uint32_t pages_now = out->num_pages();
+    if (pages_now != pages_before) {
+      // The append buffer was flushed before this tuple was added; the
+      // finished page's metadata is complete.
+      close_page();
+      pages_before = pages_now;
+    }
+    const Interval& iv = top.tuple.interval();
+    if (!have_current) {
+      current = SortedPageMeta{iv.start(), iv.start(), iv.end()};
+      have_current = true;
+    } else {
+      current.max_vs = std::max(current.max_vs, iv.start());
+      current.min_vs = std::min(current.min_vs, iv.start());
+      current.max_ve = std::max(current.max_ve, iv.end());
+    }
+    Tuple next;
+    TEMPO_ASSIGN_OR_RETURN(bool more, readers[top.stream].Next(&next));
+    if (more) heap.push(HeapEntry{std::move(next), top.stream});
+  }
+  TEMPO_RETURN_IF_ERROR(out->Flush());
+  close_page();
+  return Status::OK();
+}
+
+/// Appends `tuples` to `out`, recording per-page metadata by mirroring the
+/// relation's pagination.
+Status AppendWithMeta(StoredRelation* out, const std::vector<Tuple>& tuples,
+                      std::vector<SortedPageMeta>* meta) {
+  uint32_t pages_before = out->num_pages();
+  SortedPageMeta current{0, 0, 0};
+  bool have_current = false;
+  for (const Tuple& t : tuples) {
+    TEMPO_RETURN_IF_ERROR(out->Append(t));
+    uint32_t pages_now = out->num_pages();
+    if (pages_now != pages_before) {
+      if (have_current) meta->push_back(current);
+      have_current = false;
+      pages_before = pages_now;
+    }
+    const Interval& iv = t.interval();
+    if (!have_current) {
+      current = SortedPageMeta{iv.start(), iv.start(), iv.end()};
+      have_current = true;
+    } else {
+      current.min_vs = std::min(current.min_vs, iv.start());
+      current.max_vs = std::max(current.max_vs, iv.start());
+      current.max_ve = std::max(current.max_ve, iv.end());
+    }
+  }
+  TEMPO_RETURN_IF_ERROR(out->Flush());
+  if (have_current) meta->push_back(current);
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<SortedRelation> ExternalSortByVs(StoredRelation* input,
+                                          uint32_t buffer_pages,
+                                          const std::string& output_name) {
+  if (buffer_pages < 3) {
+    return Status::InvalidArgument("external sort needs at least 3 pages");
+  }
+  if (input->HasUnflushedAppends()) {
+    return Status::FailedPrecondition("input must be flushed before sorting");
+  }
+  Disk* disk = input->disk();
+
+  uint32_t pages = input->num_pages();
+
+  // Whole input fits in memory: one read pass, sort, one write pass.
+  if (pages <= buffer_pages) {
+    std::vector<Tuple> all;
+    for (uint32_t p = 0; p < pages; ++p) {
+      Page page;
+      TEMPO_RETURN_IF_ERROR(input->ReadPage(p, &page));
+      TEMPO_RETURN_IF_ERROR(
+          StoredRelation::DecodePage(input->schema(), page, &all));
+    }
+    std::stable_sort(all.begin(), all.end(), TupleVsLess);
+    SortedRelation result;
+    result.relation =
+        std::make_unique<StoredRelation>(disk, input->schema(), output_name);
+    TEMPO_RETURN_IF_ERROR(
+        AppendWithMeta(result.relation.get(), all, &result.page_meta));
+    TEMPO_CHECK(result.page_meta.size() == result.relation->num_pages());
+    return result;
+  }
+
+  // --- Run formation: memory-sized sorted runs. -----------------------
+  std::vector<std::unique_ptr<StoredRelation>> runs;
+  std::vector<Tuple> chunk;
+  for (uint32_t start = 0; start < pages; start += buffer_pages) {
+    uint32_t end = std::min(pages, start + buffer_pages);
+    chunk.clear();
+    for (uint32_t p = start; p < end; ++p) {
+      Page page;
+      TEMPO_RETURN_IF_ERROR(input->ReadPage(p, &page));
+      TEMPO_RETURN_IF_ERROR(
+          StoredRelation::DecodePage(input->schema(), page, &chunk));
+    }
+    std::stable_sort(chunk.begin(), chunk.end(), TupleVsLess);
+    auto run = std::make_unique<StoredRelation>(
+        disk, input->schema(), output_name + ".run" + std::to_string(runs.size()));
+    TEMPO_RETURN_IF_ERROR(run->AppendAll(chunk));
+    runs.push_back(std::move(run));
+  }
+
+  auto drop_runs = [&](std::vector<std::unique_ptr<StoredRelation>>& v) {
+    for (auto& run : v) disk->DeleteFile(run->file_id()).ok();
+    v.clear();
+  };
+
+  SortedRelation result;
+  result.relation = std::make_unique<StoredRelation>(disk, input->schema(),
+                                                     output_name);
+  if (runs.empty()) return result;
+
+  // --- Merge passes until one fan-in suffices. -------------------------
+  // Fan-in: with F input streams plus one output stream each getting at
+  // least one page, F <= buffer_pages - 1.
+  const uint32_t max_fanin = buffer_pages - 1;
+  uint32_t pass = 0;
+  while (runs.size() > max_fanin) {
+    std::vector<std::unique_ptr<StoredRelation>> next_runs;
+    for (size_t i = 0; i < runs.size(); i += max_fanin) {
+      size_t end = std::min(runs.size(), i + max_fanin);
+      std::vector<std::unique_ptr<StoredRelation>> group;
+      for (size_t j = i; j < end; ++j) group.push_back(std::move(runs[j]));
+      auto merged = std::make_unique<StoredRelation>(
+          disk, input->schema(),
+          output_name + ".pass" + std::to_string(pass) + "." +
+              std::to_string(next_runs.size()));
+      TEMPO_RETURN_IF_ERROR(
+          MergeRuns(group, buffer_pages, merged.get(), nullptr));
+      drop_runs(group);
+      next_runs.push_back(std::move(merged));
+    }
+    runs = std::move(next_runs);
+    ++pass;
+  }
+
+  // --- Final merge produces the output and its page metadata. ----------
+  TEMPO_RETURN_IF_ERROR(MergeRuns(runs, buffer_pages, result.relation.get(),
+                                  &result.page_meta));
+  drop_runs(runs);
+  TEMPO_CHECK(result.page_meta.size() == result.relation->num_pages());
+  return result;
+}
+
+}  // namespace tempo

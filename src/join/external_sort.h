@@ -1,0 +1,45 @@
+#ifndef TEMPO_JOIN_EXTERNAL_SORT_H_
+#define TEMPO_JOIN_EXTERNAL_SORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "storage/stored_relation.h"
+
+namespace tempo {
+
+/// Per-page summary of a sorted relation, collected for free while the
+/// final merge pass writes its output. The sort-merge join's back-up logic
+/// consults this instead of an auxiliary index (which the paper's setting
+/// disallows — "we do not assume ... the presence of additional data
+/// structures or access paths").
+struct SortedPageMeta {
+  Chronon min_vs;  ///< smallest Vs on the page (pages are Vs-ordered)
+  Chronon max_vs;  ///< largest Vs on the page
+  Chronon max_ve;  ///< largest Ve on the page (NOT monotone across pages)
+};
+
+/// A relation sorted by (Vs, Ve) plus its per-page summaries.
+struct SortedRelation {
+  std::unique_ptr<StoredRelation> relation;
+  std::vector<SortedPageMeta> page_meta;
+};
+
+/// Externally sorts `input` by validity-interval start (ties by end) using
+/// at most `buffer_pages` pages of memory: classic run formation (memory-
+/// sized sorted runs) followed by multiway merge passes. Fewer buffer pages
+/// mean more, shorter runs and possibly multiple merge passes — the memory
+/// sensitivity the paper attributes to sort-merge (Section 4.2).
+///
+/// Temporary run files live on `input`'s disk and are deleted before
+/// returning; all their I/O is charged. The returned relation's file is
+/// named `output_name`.
+StatusOr<SortedRelation> ExternalSortByVs(StoredRelation* input,
+                                          uint32_t buffer_pages,
+                                          const std::string& output_name);
+
+}  // namespace tempo
+
+#endif  // TEMPO_JOIN_EXTERNAL_SORT_H_

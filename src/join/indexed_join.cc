@@ -1,0 +1,109 @@
+#include "join/indexed_join.h"
+
+#include <algorithm>
+
+#include "join/external_sort.h"
+
+namespace tempo {
+
+StatusOr<JoinRunStats> IndexedVtJoin(StoredRelation* r, StoredRelation* s,
+                                     StoredRelation* out,
+                                     const VtJoinOptions& options) {
+  TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout, PrepareJoin(r, s, out));
+  if (options.buffer_pages < 8) {
+    return Status::InvalidArgument(
+        "indexed join needs at least 8 buffer pages");
+  }
+  Disk* disk = r->disk();
+  IoAccountant& acct = disk->accountant();
+  IoStats before = acct.stats();
+
+  // Sort both inputs by Vs; build the append-only tree over the inner.
+  TEMPO_ASSIGN_OR_RETURN(
+      SortedRelation sr,
+      ExternalSortByVs(r, options.buffer_pages, r->name() + ".isorted"));
+  TEMPO_ASSIGN_OR_RETURN(
+      SortedRelation ss,
+      ExternalSortByVs(s, options.buffer_pages, s->name() + ".isorted"));
+  IoStats sort_end = acct.stats();
+  TEMPO_ASSIGN_OR_RETURN(auto tree,
+                         AppendOnlyTree::Build(ss.relation.get(), s->name()));
+  IoStats build_end = acct.stats();
+
+  // Buffer split: a few frames pin index nodes, the rest cache inner
+  // data pages; one page streams the outer, one holds the result.
+  const uint32_t node_frames = std::max<uint32_t>(2, tree->height() + 1);
+  BufferManager node_pool(disk, node_frames);
+  uint32_t data_frames = options.buffer_pages > node_frames + 2
+                             ? options.buffer_pages - node_frames - 2
+                             : 1;
+  BufferManager data_pool(disk, data_frames);
+
+  ResultWriter writer(out);
+  uint64_t inner_pages_scanned = 0;
+  const int64_t widen = tree->max_duration();
+
+  const uint32_t r_pages = sr.relation->num_pages();
+  const uint32_t s_pages = ss.relation->num_pages();
+  for (uint32_t rp = 0; rp < r_pages; ++rp) {
+    TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> outer,
+                           sr.relation->ReadPageTuples(rp));
+    if (outer.empty()) continue;
+    HashedTupleIndex probe(&outer, &layout.r_join_attrs);
+    // The inner range this outer page can match: tuples with
+    // Vs in [min Vs - maxDuration, max Ve].
+    Chronon lo = outer.front().interval().start();
+    Chronon hi = outer.front().interval().end();
+    for (const Tuple& x : outer) {
+      lo = std::min(lo, x.interval().start());
+      hi = std::max(hi, x.interval().end());
+    }
+    Chronon lo_bound =
+        lo > kChrononMin + widen ? lo - widen : kChrononMin;
+    TEMPO_ASSIGN_OR_RETURN(uint32_t first,
+                           tree->LowerBoundPage(lo_bound, &node_pool));
+    TEMPO_ASSIGN_OR_RETURN(uint32_t last,
+                           tree->UpperBoundPage(hi, &node_pool));
+    if (last >= s_pages) last = s_pages - 1;
+    for (uint32_t sp = first; sp <= last && sp < s_pages; ++sp) {
+      TEMPO_ASSIGN_OR_RETURN(Page * page,
+                             data_pool.Pin(ss.relation->file_id(), sp));
+      ++inner_pages_scanned;
+      std::vector<Tuple> inner;
+      TEMPO_RETURN_IF_ERROR(
+          StoredRelation::DecodePage(ss.relation->schema(), *page, &inner));
+      TEMPO_RETURN_IF_ERROR(
+          data_pool.Unpin(ss.relation->file_id(), sp, false));
+      Status status = Status::OK();
+      for (const Tuple& y : inner) {
+        probe.ForEachMatch(y, layout.s_join_attrs, [&](const Tuple& x) {
+          if (!status.ok()) return;
+          auto common = Overlap(x.interval(), y.interval());
+          if (!common) return;
+          status = writer.Emit(layout, x, y, *common);
+        });
+        TEMPO_RETURN_IF_ERROR(status);
+      }
+    }
+  }
+  TEMPO_RETURN_IF_ERROR(writer.Finish());
+
+  JoinRunStats stats;
+  stats.io = acct.stats() - before;
+  stats.output_tuples = writer.count();
+  stats.details["index_node_pages"] =
+      static_cast<double>(tree->num_node_pages());
+  stats.details["index_build_io_ops"] =
+      static_cast<double>((build_end - sort_end).total_ops());
+  stats.details["sort_io_ops"] =
+      static_cast<double>((sort_end - before).total_ops());
+  stats.details["inner_pages_scanned"] =
+      static_cast<double>(inner_pages_scanned);
+
+  tree->Drop().ok();
+  disk->DeleteFile(sr.relation->file_id()).ok();
+  disk->DeleteFile(ss.relation->file_id()).ok();
+  return stats;
+}
+
+}  // namespace tempo

@@ -1,0 +1,49 @@
+#include "join/join_common.h"
+
+namespace tempo {
+
+Tuple MakeJoinTuple(const NaturalJoinLayout& layout, const Tuple& x,
+                    const Tuple& y, const Interval& overlap) {
+  std::vector<Value> values;
+  values.reserve(layout.output.num_attributes());
+  for (size_t pos : layout.r_join_attrs) values.push_back(x.value(pos));
+  for (size_t pos : layout.r_rest) values.push_back(x.value(pos));
+  for (size_t pos : layout.s_rest) values.push_back(y.value(pos));
+  return Tuple(std::move(values), overlap);
+}
+
+HashedTupleIndex::HashedTupleIndex(const std::vector<Tuple>* tuples,
+                                   const std::vector<size_t>* key_attrs)
+    : tuples_(tuples), key_attrs_(key_attrs) {
+  Rebuild(tuples);
+}
+
+void HashedTupleIndex::Rebuild(const std::vector<Tuple>* tuples) {
+  tuples_ = tuples;
+  buckets_.clear();
+  buckets_.reserve(tuples_->size());
+  for (size_t i = 0; i < tuples_->size(); ++i) {
+    buckets_.emplace((*tuples_)[i].HashAttrs(*key_attrs_), i);
+  }
+}
+
+StatusOr<NaturalJoinLayout> PrepareJoin(StoredRelation* r, StoredRelation* s,
+                                        StoredRelation* out) {
+  if (r == nullptr || s == nullptr || out == nullptr) {
+    return Status::InvalidArgument("join inputs must be non-null");
+  }
+  TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout,
+                         DeriveNaturalJoinLayout(r->schema(), s->schema()));
+  if (!(out->schema() == layout.output)) {
+    return Status::InvalidArgument(
+        "output relation schema " + out->schema().ToString() +
+        " does not match derived join schema " + layout.output.ToString());
+  }
+  if (r->HasUnflushedAppends() || s->HasUnflushedAppends()) {
+    return Status::FailedPrecondition(
+        "input relations must be flushed before joining");
+  }
+  return layout;
+}
+
+}  // namespace tempo

@@ -1,0 +1,116 @@
+#ifndef TEMPO_JOIN_JOIN_COMMON_H_
+#define TEMPO_JOIN_JOIN_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "storage/io_accountant.h"
+#include "storage/stored_relation.h"
+
+namespace tempo {
+
+/// Options shared by all valid-time join executors.
+struct VtJoinOptions {
+  /// Total main-memory budget in pages (the paper's buffSize). All executor
+  /// working state that scales with the input — partition areas, sort run
+  /// buffers, merge windows — is charged against this budget; O(1)
+  /// bookkeeping is not.
+  uint32_t buffer_pages = 2048;  // 8 MiB at 4 KiB pages
+
+  /// Weights used by cost-based decisions inside the executors (the
+  /// partition-size optimizer, the sampling-mode choice).
+  CostModel cost_model = CostModel::Ratio(5.0);
+
+  /// Seed for any sampling the executor performs.
+  uint64_t seed = 42;
+};
+
+/// Execution report of one join run.
+struct JoinRunStats {
+  IoStats io;                ///< charged I/O performed by the executor
+  uint64_t output_tuples = 0;
+
+  /// Weighted cost of the run under `model`.
+  double Cost(const CostModel& model) const { return io.Cost(model); }
+
+  /// Executor-specific details (e.g. "partitions", "samples",
+  /// "merge_backup_pages"). Keys are documented on each executor.
+  std::unordered_map<std::string, double> details;
+};
+
+/// Assembles the result tuple of the valid-time natural join (paper
+/// Section 2): explicit values A (shared), B (r-only), C (s-only), stamped
+/// with the overlap of the input intervals. `overlap` must be the
+/// (non-empty) intersection of x and y's intervals.
+Tuple MakeJoinTuple(const NaturalJoinLayout& layout, const Tuple& x,
+                    const Tuple& y, const Interval& overlap);
+
+/// Buffered writer appending join results to an output relation. The
+/// output page is the paper's dedicated result buffer page (Figure 3).
+class ResultWriter {
+ public:
+  explicit ResultWriter(StoredRelation* out) : out_(out) {}
+
+  Status Emit(const NaturalJoinLayout& layout, const Tuple& x, const Tuple& y,
+              const Interval& overlap) {
+    ++count_;
+    return out_->Append(MakeJoinTuple(layout, x, y, overlap));
+  }
+
+  Status Finish() { return out_->Flush(); }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  StoredRelation* out_;
+  uint64_t count_ = 0;
+};
+
+/// An in-memory equi-hash index over tuples, keyed on a subset of attribute
+/// positions. This is the "any simple evaluation algorithm ... once in
+/// memory" of Section 3.1: executors build it over the memory-resident side
+/// and probe with each tuple of the streamed side.
+class HashedTupleIndex {
+ public:
+  /// Builds over `tuples` (kept by pointer; caller owns) using key
+  /// positions `key_attrs`.
+  HashedTupleIndex(const std::vector<Tuple>* tuples,
+                   const std::vector<size_t>* key_attrs);
+
+  /// Re-binds to a new tuple vector (same key positions) and rebuilds.
+  void Rebuild(const std::vector<Tuple>* tuples);
+
+  /// Invokes `fn(const Tuple&)` for each indexed tuple equal to `probe` on
+  /// the aligned key positions `probe_attrs`.
+  template <typename Fn>
+  void ForEachMatch(const Tuple& probe, const std::vector<size_t>& probe_attrs,
+                    Fn&& fn) const {
+    size_t h = probe.HashAttrs(probe_attrs);
+    auto [lo, hi] = buckets_.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      const Tuple& candidate = (*tuples_)[it->second];
+      if (candidate.EqualOnAttrs(*key_attrs_, probe_attrs, probe)) {
+        fn(candidate);
+      }
+    }
+  }
+
+ private:
+  const std::vector<Tuple>* tuples_;
+  const std::vector<size_t>* key_attrs_;
+  std::unordered_multimap<size_t, size_t> buckets_;
+};
+
+/// Derives the natural-join layout and validates that `out` has the
+/// expected output schema. Shared prologue of every executor.
+StatusOr<NaturalJoinLayout> PrepareJoin(StoredRelation* r, StoredRelation* s,
+                                        StoredRelation* out);
+
+}  // namespace tempo
+
+#endif  // TEMPO_JOIN_JOIN_COMMON_H_

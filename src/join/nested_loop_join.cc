@@ -1,0 +1,84 @@
+#include "join/nested_loop_join.h"
+
+namespace tempo {
+
+StatusOr<JoinRunStats> NestedLoopVtJoin(StoredRelation* r, StoredRelation* s,
+                                        StoredRelation* out,
+                                        const VtJoinOptions& options) {
+  TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout, PrepareJoin(r, s, out));
+  if (options.buffer_pages < 3) {
+    return Status::InvalidArgument(
+        "nested-loop join needs at least 3 buffer pages");
+  }
+  IoAccountant& acct = r->disk()->accountant();
+  IoStats before = acct.stats();
+
+  const uint32_t block_pages = options.buffer_pages - 2;
+  const uint32_t pages_r = r->num_pages();
+  const uint32_t pages_s = s->num_pages();
+
+  ResultWriter writer(out);
+  uint64_t blocks = 0;
+
+  std::vector<Tuple> block;
+  for (uint32_t block_start = 0; block_start < pages_r;
+       block_start += block_pages) {
+    ++blocks;
+    uint32_t block_end = block_start + block_pages;
+    if (block_end > pages_r) block_end = pages_r;
+
+    // Load the outer block (1 random + (k-1) sequential reads).
+    block.clear();
+    for (uint32_t p = block_start; p < block_end; ++p) {
+      Page page;
+      TEMPO_RETURN_IF_ERROR(r->ReadPage(p, &page));
+      TEMPO_RETURN_IF_ERROR(
+          StoredRelation::DecodePage(r->schema(), page, &block));
+    }
+    HashedTupleIndex index(&block, &layout.r_join_attrs);
+
+    // Scan the inner relation through one page buffer.
+    for (uint32_t p = 0; p < pages_s; ++p) {
+      std::vector<Tuple> inner;
+      Page page;
+      TEMPO_RETURN_IF_ERROR(s->ReadPage(p, &page));
+      TEMPO_RETURN_IF_ERROR(
+          StoredRelation::DecodePage(s->schema(), page, &inner));
+      Status status = Status::OK();
+      for (const Tuple& y : inner) {
+        index.ForEachMatch(y, layout.s_join_attrs, [&](const Tuple& x) {
+          if (!status.ok()) return;
+          auto common = Overlap(x.interval(), y.interval());
+          if (common) status = writer.Emit(layout, x, y, *common);
+        });
+        TEMPO_RETURN_IF_ERROR(status);
+      }
+    }
+  }
+  TEMPO_RETURN_IF_ERROR(writer.Finish());
+
+  JoinRunStats stats;
+  stats.io = acct.stats() - before;
+  stats.output_tuples = writer.count();
+  stats.details["outer_blocks"] = static_cast<double>(blocks);
+  return stats;
+}
+
+double NestedLoopAnalyticCost(uint32_t pages_r, uint32_t pages_s,
+                              uint32_t buffer_pages, const CostModel& model,
+                              HeadModel head_model) {
+  TEMPO_CHECK(buffer_pages >= 3);
+  if (pages_r == 0) return 0.0;
+  uint32_t block_pages = buffer_pages - 2;
+  uint64_t blocks = (pages_r + block_pages - 1) / block_pages;
+  uint64_t inner_random = pages_s > 0 ? blocks : 0;
+  uint64_t inner_seq = pages_s > 0 ? blocks * (pages_s - 1) : 0;
+  if (head_model == HeadModel::kPerFile) {
+    // The outer blocks form one continuous pass over r.
+    return model.Cost(1 + inner_random, (pages_r - 1) + inner_seq);
+  }
+  // Single head: every outer block and every inner scan reseeks.
+  return model.Cost(blocks + inner_random, (pages_r - blocks) + inner_seq);
+}
+
+}  // namespace tempo

@@ -1,0 +1,55 @@
+#include "join/reference_join.h"
+
+#include <algorithm>
+
+#include "join/join_common.h"
+
+namespace tempo {
+
+StatusOr<std::vector<Tuple>> ReferenceValidTimeJoin(
+    const Schema& r_schema, const std::vector<Tuple>& r,
+    const Schema& s_schema, const std::vector<Tuple>& s) {
+  TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout,
+                         DeriveNaturalJoinLayout(r_schema, s_schema));
+  std::vector<Tuple> out;
+  for (const Tuple& x : r) {
+    for (const Tuple& y : s) {
+      if (!x.EqualOnAttrs(layout.r_join_attrs, layout.s_join_attrs, y)) {
+        continue;
+      }
+      auto common = Overlap(x.interval(), y.interval());
+      if (!common) continue;
+      out.push_back(MakeJoinTuple(layout, x, y, *common));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Total order over tuples for canonical sorting; only used to compare
+// multisets, so any consistent order works.
+bool TupleLess(const Tuple& a, const Tuple& b) {
+  if (a.interval().start() != b.interval().start()) {
+    return a.interval().start() < b.interval().start();
+  }
+  if (a.interval().end() != b.interval().end()) {
+    return a.interval().end() < b.interval().end();
+  }
+  size_t n = std::min(a.num_values(), b.num_values());
+  for (size_t i = 0; i < n; ++i) {
+    if (a.value(i) != b.value(i)) return a.value(i) < b.value(i);
+  }
+  return a.num_values() < b.num_values();
+}
+
+}  // namespace
+
+bool SameTupleMultiset(std::vector<Tuple> a, std::vector<Tuple> b) {
+  if (a.size() != b.size()) return false;
+  std::sort(a.begin(), a.end(), TupleLess);
+  std::sort(b.begin(), b.end(), TupleLess);
+  return a == b;
+}
+
+}  // namespace tempo

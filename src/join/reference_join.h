@@ -1,0 +1,29 @@
+#ifndef TEMPO_JOIN_REFERENCE_JOIN_H_
+#define TEMPO_JOIN_REFERENCE_JOIN_H_
+
+#include <vector>
+
+#include "common/statusor.h"
+#include "relation/schema.h"
+#include "relation/tuple.h"
+
+namespace tempo {
+
+/// Straight transcription of the paper's tuple-relational-calculus
+/// definition of r ⋈ᵥ s (Section 2): for every pair (x, y) agreeing on the
+/// shared attributes with overlap(x[V], y[V]) ≠ ⊥, emit z = (A, B, C)
+/// stamped with the overlap. O(|r|·|s|), entirely in memory.
+///
+/// This is the testing oracle: every disk-based executor must produce
+/// exactly this multiset of tuples (in any order).
+StatusOr<std::vector<Tuple>> ReferenceValidTimeJoin(
+    const Schema& r_schema, const std::vector<Tuple>& r,
+    const Schema& s_schema, const std::vector<Tuple>& s);
+
+/// Multiset equality of tuple vectors, ignoring order. Used by tests and
+/// the executors' self-check mode.
+bool SameTupleMultiset(std::vector<Tuple> a, std::vector<Tuple> b);
+
+}  // namespace tempo
+
+#endif  // TEMPO_JOIN_REFERENCE_JOIN_H_

@@ -1,0 +1,246 @@
+#include "relation/csv.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+namespace tempo {
+
+namespace {
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void AppendValue(std::string* out, const Value& v) {
+  if (v.is_null()) {
+    *out += "NULL";
+    return;
+  }
+  switch (v.type()) {
+    case ValueType::kInt64:
+      *out += std::to_string(v.AsInt64());
+      break;
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      *out += buf;
+      break;
+    }
+    case ValueType::kString:
+      AppendQuoted(out, v.AsString());
+      break;
+  }
+}
+
+/// Splits one CSV record starting at `pos` into fields, honoring quotes.
+/// Advances `pos` past the record's newline. Returns false at end of
+/// input (no record).
+StatusOr<bool> NextRecord(std::string_view csv, size_t* pos,
+                          std::vector<std::string>* fields,
+                          std::vector<bool>* quoted) {
+  fields->clear();
+  quoted->clear();
+  size_t i = *pos;
+  if (i >= csv.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool field_quoted = false;
+  while (i <= csv.size()) {
+    char c = i < csv.size() ? csv[i] : '\n';  // virtual trailing newline
+    if (in_quotes) {
+      if (i >= csv.size()) {
+        return Status::InvalidArgument("unterminated quote in CSV");
+      }
+      if (c == '"') {
+        if (i + 1 < csv.size() && csv[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      field_quoted = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(field));
+      quoted->push_back(field_quoted);
+      field.clear();
+      field_quoted = false;
+    } else if (c == '\n' || c == '\r') {
+      fields->push_back(std::move(field));
+      quoted->push_back(field_quoted);
+      // Swallow \r\n pairs and the newline itself.
+      if (i < csv.size() && csv[i] == '\r' && i + 1 < csv.size() &&
+          csv[i + 1] == '\n') {
+        ++i;
+      }
+      *pos = i + 1;
+      return true;
+    } else {
+      field.push_back(c);
+    }
+    ++i;
+  }
+  *pos = i;
+  return true;
+}
+
+StatusOr<int64_t> ParseInt(const std::string& s, size_t line) {
+  int64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p != s.data() + s.size()) {
+    return Status::InvalidArgument("line " + std::to_string(line) +
+                                   ": not an integer: '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string ToCsv(const Schema& schema, const std::vector<Tuple>& tuples) {
+  std::string out;
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += schema.attribute(i).name;
+  }
+  out += schema.num_attributes() > 0 ? ",__vs,__ve\n" : "__vs,__ve\n";
+  for (const Tuple& t : tuples) {
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      if (i != 0) out.push_back(',');
+      AppendValue(&out, t.value(i));
+    }
+    if (schema.num_attributes() > 0) out.push_back(',');
+    out += std::to_string(t.interval().start());
+    out.push_back(',');
+    out += std::to_string(t.interval().end());
+    out.push_back('\n');
+  }
+  return out;
+}
+
+StatusOr<std::vector<Tuple>> FromCsv(const Schema& schema,
+                                     std::string_view csv) {
+  size_t pos = 0;
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+  const size_t n = schema.num_attributes();
+
+  // Header.
+  TEMPO_ASSIGN_OR_RETURN(bool has_header,
+                         NextRecord(csv, &pos, &fields, &quoted));
+  if (!has_header || fields.size() != n + 2) {
+    return Status::InvalidArgument("CSV header does not match schema arity");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (fields[i] != schema.attribute(i).name) {
+      return Status::InvalidArgument("CSV header column '" + fields[i] +
+                                     "' does not match attribute '" +
+                                     schema.attribute(i).name + "'");
+    }
+  }
+  if (fields[n] != "__vs" || fields[n + 1] != "__ve") {
+    return Status::InvalidArgument("CSV header must end with __vs,__ve");
+  }
+
+  std::vector<Tuple> out;
+  size_t line = 1;
+  while (true) {
+    TEMPO_ASSIGN_OR_RETURN(bool more, NextRecord(csv, &pos, &fields, &quoted));
+    if (!more) break;
+    ++line;
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != n + 2) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line) + ": expected " +
+          std::to_string(n + 2) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    std::vector<Value> values;
+    values.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (!quoted[i] && fields[i] == "NULL") {
+        values.push_back(Value::Null());
+        continue;
+      }
+      switch (schema.attribute(i).type) {
+        case ValueType::kInt64: {
+          TEMPO_ASSIGN_OR_RETURN(int64_t v, ParseInt(fields[i], line));
+          values.emplace_back(v);
+          break;
+        }
+        case ValueType::kDouble: {
+          errno = 0;
+          char* end = nullptr;
+          double d = std::strtod(fields[i].c_str(), &end);
+          if (errno != 0 || end != fields[i].c_str() + fields[i].size() ||
+              fields[i].empty()) {
+            return Status::InvalidArgument("line " + std::to_string(line) +
+                                           ": not a double: '" + fields[i] +
+                                           "'");
+          }
+          values.emplace_back(d);
+          break;
+        }
+        case ValueType::kString:
+          values.emplace_back(fields[i]);
+          break;
+      }
+    }
+    TEMPO_ASSIGN_OR_RETURN(int64_t vs, ParseInt(fields[n], line));
+    TEMPO_ASSIGN_OR_RETURN(int64_t ve, ParseInt(fields[n + 1], line));
+    auto iv = Interval::Make(vs, ve);
+    if (!iv) {
+      return Status::InvalidArgument("line " + std::to_string(line) +
+                                     ": invalid interval [" +
+                                     std::to_string(vs) + ", " +
+                                     std::to_string(ve) + "]");
+    }
+    out.push_back(Tuple(std::move(values), *iv));
+  }
+  return out;
+}
+
+Status ExportCsvFile(const Schema& schema, const std::vector<Tuple>& tuples,
+                     const std::string& path) {
+  std::string csv = ToCsv(schema, tuples);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  size_t written = std::fwrite(csv.data(), 1, csv.size(), f);
+  int rc = std::fclose(f);
+  if (written != csv.size() || rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<Tuple>> ImportCsvFile(const Schema& schema,
+                                           const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::string csv;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    csv.append(buf, got);
+  }
+  std::fclose(f);
+  return FromCsv(schema, csv);
+}
+
+}  // namespace tempo

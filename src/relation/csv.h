@@ -1,0 +1,44 @@
+#ifndef TEMPO_RELATION_CSV_H_
+#define TEMPO_RELATION_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+#include "relation/schema.h"
+#include "relation/tuple.h"
+
+namespace tempo {
+
+/// CSV interchange for valid-time relations.
+///
+/// Layout: a header row with the explicit attribute names followed by the
+/// timestamp columns `__vs,__ve`; then one row per tuple. Strings are
+/// always double-quoted with `""` escaping (so commas, quotes and
+/// newlines survive); numbers are bare; NULL is the bare keyword `NULL`.
+///
+///   id,name,__vs,__ve
+///   1,"ada",0,120
+///   2,"grace, etc.",50,300
+///   3,NULL,10,20
+
+/// Renders tuples as CSV text. Tuples must match the schema.
+std::string ToCsv(const Schema& schema, const std::vector<Tuple>& tuples);
+
+/// Parses CSV text against an expected schema. The header must match the
+/// schema's attribute names followed by `__vs,__ve` exactly. Malformed
+/// rows yield InvalidArgument with the line number.
+StatusOr<std::vector<Tuple>> FromCsv(const Schema& schema,
+                                     std::string_view csv);
+
+/// File convenience wrappers (real filesystem I/O, not the simulated
+/// disk).
+Status ExportCsvFile(const Schema& schema, const std::vector<Tuple>& tuples,
+                     const std::string& path);
+StatusOr<std::vector<Tuple>> ImportCsvFile(const Schema& schema,
+                                           const std::string& path);
+
+}  // namespace tempo
+
+#endif  // TEMPO_RELATION_CSV_H_

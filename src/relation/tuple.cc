@@ -1,0 +1,185 @@
+#include "relation/tuple.h"
+
+#include <cstring>
+
+namespace tempo {
+
+namespace {
+
+void AppendRaw64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+bool ReadRaw64(const char*& p, const char* end, uint64_t* v) {
+  if (end - p < 8) return false;
+  std::memcpy(v, p, 8);
+  p += 8;
+  return true;
+}
+
+}  // namespace
+
+size_t Tuple::HashAttrs(const std::vector<size_t>& positions) const {
+  size_t h = 0x243f6a8885a308d3ull;  // arbitrary non-zero seed
+  for (size_t pos : positions) {
+    size_t vh = value(pos).Hash();
+    h ^= vh + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool Tuple::EqualOnAttrs(const std::vector<size_t>& mine,
+                         const std::vector<size_t>& theirs,
+                         const Tuple& other) const {
+  TEMPO_DCHECK(mine.size() == theirs.size());
+  for (size_t i = 0; i < mine.size(); ++i) {
+    if (value(mine[i]) != other.value(theirs[i])) return false;
+  }
+  return true;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ") @ ";
+  out += interval_.ToString();
+  return out;
+}
+
+size_t Tuple::SerializedSize(const Schema& schema) const {
+  size_t size = 16;  // interval
+  size += (schema.num_attributes() + 7) / 8;  // null bitmap
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (value(i).is_null()) continue;
+    switch (schema.attribute(i).type) {
+      case ValueType::kInt64:
+      case ValueType::kDouble:
+        size += 8;
+        break;
+      case ValueType::kString:
+        size += 4 + value(i).AsString().size();
+        break;
+    }
+  }
+  return size;
+}
+
+void Tuple::SerializeTo(const Schema& schema, std::string* out) const {
+  TEMPO_DCHECK(values_.size() == schema.num_attributes());
+  AppendRaw64(out, static_cast<uint64_t>(interval_.start()));
+  AppendRaw64(out, static_cast<uint64_t>(interval_.end()));
+  // Null bitmap: bit i set means attribute i is NULL (no payload bytes).
+  const size_t bitmap_bytes = (schema.num_attributes() + 7) / 8;
+  size_t bitmap_pos = out->size();
+  out->append(bitmap_bytes, '\0');
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (value(i).is_null()) {
+      (*out)[bitmap_pos + i / 8] |= static_cast<char>(1u << (i % 8));
+      continue;
+    }
+    TEMPO_DCHECK(value(i).type() == schema.attribute(i).type);
+    switch (schema.attribute(i).type) {
+      case ValueType::kInt64:
+        AppendRaw64(out, static_cast<uint64_t>(value(i).AsInt64()));
+        break;
+      case ValueType::kDouble: {
+        double d = value(i).AsDouble();
+        uint64_t bits;
+        std::memcpy(&bits, &d, 8);
+        AppendRaw64(out, bits);
+        break;
+      }
+      case ValueType::kString: {
+        const std::string& s = value(i).AsString();
+        uint32_t len = static_cast<uint32_t>(s.size());
+        char buf[4];
+        std::memcpy(buf, &len, 4);
+        out->append(buf, 4);
+        out->append(s);
+        break;
+      }
+    }
+  }
+}
+
+StatusOr<Tuple> Tuple::Deserialize(const Schema& schema, const char* data,
+                                   size_t size) {
+  const char* p = data;
+  const char* end = data + size;
+  uint64_t vs_bits, ve_bits;
+  if (!ReadRaw64(p, end, &vs_bits) || !ReadRaw64(p, end, &ve_bits)) {
+    return Status::Corruption("record too short for interval");
+  }
+  Chronon vs = static_cast<Chronon>(vs_bits);
+  Chronon ve = static_cast<Chronon>(ve_bits);
+  auto iv = Interval::Make(vs, ve);
+  if (!iv) return Status::Corruption("record has invalid interval");
+
+  const size_t bitmap_bytes = (schema.num_attributes() + 7) / 8;
+  if (static_cast<size_t>(end - p) < bitmap_bytes) {
+    return Status::Corruption("record too short for null bitmap");
+  }
+  const char* bitmap = p;
+  p += bitmap_bytes;
+  // Padding bits past the last attribute must be zero: set bits there
+  // indicate corruption (and would break round-trip canonicality).
+  for (size_t bit = schema.num_attributes(); bit < bitmap_bytes * 8; ++bit) {
+    if ((bitmap[bit / 8] >> (bit % 8)) & 1) {
+      return Status::Corruption("null bitmap has nonzero padding bits");
+    }
+  }
+
+  std::vector<Value> values;
+  values.reserve(schema.num_attributes());
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if ((bitmap[i / 8] >> (i % 8)) & 1) {
+      values.push_back(Value::Null());
+      continue;
+    }
+    switch (schema.attribute(i).type) {
+      case ValueType::kInt64: {
+        uint64_t v;
+        if (!ReadRaw64(p, end, &v)) {
+          return Status::Corruption("record too short for int64 attribute");
+        }
+        values.emplace_back(static_cast<int64_t>(v));
+        break;
+      }
+      case ValueType::kDouble: {
+        uint64_t bits;
+        if (!ReadRaw64(p, end, &bits)) {
+          return Status::Corruption("record too short for double attribute");
+        }
+        double d;
+        std::memcpy(&d, &bits, 8);
+        values.emplace_back(d);
+        break;
+      }
+      case ValueType::kString: {
+        if (end - p < 4) {
+          return Status::Corruption("record too short for string length");
+        }
+        uint32_t len;
+        std::memcpy(&len, p, 4);
+        p += 4;
+        if (end - p < static_cast<ptrdiff_t>(len)) {
+          return Status::Corruption("record too short for string payload");
+        }
+        values.emplace_back(std::string(p, len));
+        p += len;
+        break;
+      }
+    }
+  }
+  if (p != end) {
+    return Status::Corruption("record has trailing bytes");
+  }
+  return Tuple(std::move(values), *iv);
+}
+
+}  // namespace tempo

@@ -1,0 +1,55 @@
+#include "relation/value.h"
+
+#include <cstdio>
+
+namespace tempo {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0xdeadbeefcafef00dull;
+  size_t h = 0;
+  switch (type()) {
+    case ValueType::kInt64:
+      h = std::hash<int64_t>()(std::get<int64_t>(v_));
+      break;
+    case ValueType::kDouble:
+      h = std::hash<double>()(std::get<double>(v_));
+      break;
+    case ValueType::kString:
+      h = std::hash<std::string>()(std::get<std::string>(v_));
+      break;
+  }
+  // Mix in the alternative index so equal bit patterns of different types
+  // hash apart, then finalize (splitmix-style).
+  h ^= v_.index() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(v_));
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v_));
+      return buf;
+    }
+    case ValueType::kString:
+      return "\"" + std::get<std::string>(v_) + "\"";
+  }
+  return "?";
+}
+
+}  // namespace tempo

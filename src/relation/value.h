@@ -1,0 +1,83 @@
+#ifndef TEMPO_RELATION_VALUE_H_
+#define TEMPO_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "common/assert.h"
+
+namespace tempo {
+
+/// Attribute types supported by the relational layer.
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// A single attribute value. Small, copyable, hashable.
+///
+/// A Value may be NULL (e.g. the padded side of a TE-outerjoin result).
+/// NULL is a value state, not a type: a NULL still occupies an attribute
+/// position whose declared type is in the schema, and is serialized via a
+/// per-record null bitmap.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t v) : v_(v) {}
+  explicit Value(double v) : v_(v) {}
+  explicit Value(std::string v) : v_(std::move(v)) {}
+  explicit Value(const char* v) : v_(std::string(v)) {}
+
+  static Value Null() {
+    Value v;
+    v.v_ = std::monostate{};
+    return v;
+  }
+
+  bool is_null() const {
+    return std::holds_alternative<std::monostate>(v_);
+  }
+
+  /// Type of a non-null value. Must not be called on NULL.
+  ValueType type() const {
+    TEMPO_DCHECK(!is_null());
+    return static_cast<ValueType>(v_.index());
+  }
+
+  int64_t AsInt64() const {
+    TEMPO_DCHECK(type() == ValueType::kInt64);
+    return std::get<int64_t>(v_);
+  }
+  double AsDouble() const {
+    TEMPO_DCHECK(type() == ValueType::kDouble);
+    return std::get<double>(v_);
+  }
+  const std::string& AsString() const {
+    TEMPO_DCHECK(type() == ValueType::kString);
+    return std::get<std::string>(v_);
+  }
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return v_ < other.v_; }
+
+  /// Hash suitable for join-key hashing; values of different types never
+  /// compare equal, so mixing the index is fine.
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  // Alternative order defines ValueType's numeric values; monostate (NULL)
+  // is deliberately last so type() == index() for non-null values.
+  std::variant<int64_t, double, std::string, std::monostate> v_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_RELATION_VALUE_H_

@@ -1,0 +1,25 @@
+#include "sampling/kolmogorov.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace tempo {
+
+double KolmogorovDeviation(uint64_t num_samples, double critical) {
+  TEMPO_CHECK(num_samples > 0);
+  return critical / std::sqrt(static_cast<double>(num_samples));
+}
+
+uint64_t RequiredKolmogorovSamples(uint64_t relation_pages,
+                                   uint64_t error_pages, double critical) {
+  TEMPO_CHECK(error_pages > 0);
+  double ratio =
+      critical * static_cast<double>(relation_pages) /
+      static_cast<double>(error_pages);
+  double m = ratio * ratio;
+  uint64_t required = static_cast<uint64_t>(std::ceil(m));
+  return required == 0 ? 1 : required;
+}
+
+}  // namespace tempo

@@ -1,0 +1,38 @@
+#ifndef TEMPO_SAMPLING_KOLMOGOROV_H_
+#define TEMPO_SAMPLING_KOLMOGOROV_H_
+
+#include <cstdint>
+
+namespace tempo {
+
+/// Asymptotic critical values of the Kolmogorov test statistic [Con71]:
+/// with confidence `1 - alpha`, the empirical distribution of m samples
+/// deviates from the true distribution by at most K(alpha)/sqrt(m) in any
+/// percentile. The paper uses the 99% value, 1.63 (Section 3.4).
+struct KolmogorovCritical {
+  static constexpr double k90 = 1.22;
+  static constexpr double k95 = 1.36;
+  static constexpr double k98 = 1.52;
+  static constexpr double k99 = 1.63;
+};
+
+/// Maximum percentile deviation guaranteed (with the given confidence) for
+/// a sample of size m: K/sqrt(m).
+double KolmogorovDeviation(uint64_t num_samples,
+                           double critical = KolmogorovCritical::k99);
+
+/// The paper's sample-size bound: choosing partitioning chronons from m
+/// samples, each boundary's percentile is off by at most 1.63/sqrt(m), i.e.
+/// a partition may exceed its estimated size by (1.63 * relation_size) /
+/// sqrt(m). Requiring that overflow to fit in `error_size` pages gives
+///     m >= ((1.63 * relation_size) / error_size)^2
+/// where relation_size and error_size are in the same unit (pages here).
+/// Returns the smallest such m (>= 1). As the paper's footnote 2 notes, the
+/// bound depends only on the ratio relation_size/error_size.
+uint64_t RequiredKolmogorovSamples(uint64_t relation_pages,
+                                   uint64_t error_pages,
+                                   double critical = KolmogorovCritical::k99);
+
+}  // namespace tempo
+
+#endif  // TEMPO_SAMPLING_KOLMOGOROV_H_

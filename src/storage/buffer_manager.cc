@@ -1,0 +1,115 @@
+#include "storage/buffer_manager.h"
+
+namespace tempo {
+
+BufferManager::BufferManager(Disk* disk, size_t capacity_frames)
+    : disk_(disk), capacity_(capacity_frames) {
+  TEMPO_CHECK(disk != nullptr);
+  TEMPO_CHECK(capacity_frames > 0);
+}
+
+BufferManager::~BufferManager() {
+  // Best-effort flush; destruction cannot report errors.
+  FlushAll().ok();
+}
+
+Status BufferManager::WriteBack(Frame& frame) {
+  if (!frame.dirty) return Status::OK();
+  TEMPO_RETURN_IF_ERROR(
+      disk_->WritePage(frame.key.file, frame.key.page_no, *frame.page));
+  frame.dirty = false;
+  return Status::OK();
+}
+
+Status BufferManager::EnsureCapacity() {
+  if (table_.size() < capacity_) return Status::OK();
+  // Evict the least-recently-used unpinned frame.
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("all buffer frames are pinned");
+  }
+  Key victim_key = lru_.back();
+  auto it = table_.find(victim_key);
+  TEMPO_CHECK(it != table_.end());
+  TEMPO_RETURN_IF_ERROR(WriteBack(it->second));
+  lru_.pop_back();
+  table_.erase(it);
+  return Status::OK();
+}
+
+StatusOr<Page*> BufferManager::Pin(FileId file, uint32_t page_no) {
+  Key key{file, page_no};
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    ++hits_;
+    Frame& frame = it->second;
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return frame.page.get();
+  }
+  ++misses_;
+  TEMPO_RETURN_IF_ERROR(EnsureCapacity());
+  Frame frame;
+  frame.key = key;
+  frame.page = std::make_unique<Page>();
+  TEMPO_RETURN_IF_ERROR(disk_->ReadPage(file, page_no, frame.page.get()));
+  frame.pin_count = 1;
+  auto [pos, inserted] = table_.emplace(key, std::move(frame));
+  TEMPO_CHECK(inserted);
+  return pos->second.page.get();
+}
+
+Status BufferManager::Unpin(FileId file, uint32_t page_no, bool dirty) {
+  Key key{file, page_no};
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    return Status::FailedPrecondition("unpin of uncached page");
+  }
+  Frame& frame = it->second;
+  if (frame.pin_count <= 0) {
+    return Status::FailedPrecondition("unpin of unpinned page");
+  }
+  frame.dirty = frame.dirty || dirty;
+  --frame.pin_count;
+  if (frame.pin_count == 0) {
+    lru_.push_front(key);
+    frame.lru_pos = lru_.begin();
+    frame.in_lru = true;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::pair<Page*, uint32_t>> BufferManager::NewPage(FileId file) {
+  Page empty;
+  TEMPO_ASSIGN_OR_RETURN(uint32_t page_no, disk_->AppendPage(file, empty));
+  TEMPO_ASSIGN_OR_RETURN(Page * page, Pin(file, page_no));
+  return std::make_pair(page, page_no);
+}
+
+Status BufferManager::FlushAll() {
+  for (auto& [key, frame] : table_) {
+    TEMPO_RETURN_IF_ERROR(WriteBack(frame));
+  }
+  return Status::OK();
+}
+
+Status BufferManager::FlushAndEvictFile(FileId file) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->second.key.file == file) {
+      if (it->second.pin_count > 0) {
+        return Status::FailedPrecondition(
+            "cannot evict pinned page of file " + std::to_string(file));
+      }
+      TEMPO_RETURN_IF_ERROR(WriteBack(it->second));
+      if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tempo

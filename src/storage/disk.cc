@@ -1,0 +1,102 @@
+#include "storage/disk.h"
+
+namespace tempo {
+
+FileId Disk::CreateFile(std::string name) {
+  FileId id = next_id_++;
+  File f;
+  f.name = std::move(name);
+  files_.emplace(id, std::move(f));
+  return id;
+}
+
+StatusOr<Disk::File*> Disk::Find(FileId id) {
+  auto it = files_.find(id);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+Status Disk::DeleteFile(FileId id) {
+  auto it = files_.find(id);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + std::to_string(id));
+  }
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status Disk::Truncate(FileId id) {
+  TEMPO_ASSIGN_OR_RETURN(File * f, Find(id));
+  f->pages.clear();
+  return Status::OK();
+}
+
+Status Disk::SetCharged(FileId id, bool charged) {
+  TEMPO_ASSIGN_OR_RETURN(File * f, Find(id));
+  f->charged = charged;
+  return Status::OK();
+}
+
+uint32_t Disk::FileSizePages(FileId id) const {
+  auto it = files_.find(id);
+  if (it == files_.end()) return 0;
+  return static_cast<uint32_t>(it->second.pages.size());
+}
+
+const std::string& Disk::FileName(FileId id) const {
+  static const std::string kUnknown = "<unknown>";
+  auto it = files_.find(id);
+  return it == files_.end() ? kUnknown : it->second.name;
+}
+
+Status Disk::CheckFault() {
+  if (!fault_armed_) return Status::OK();
+  if (fault_countdown_ == 0) {
+    return Status::Internal("injected storage fault");
+  }
+  --fault_countdown_;
+  return Status::OK();
+}
+
+Status Disk::ReadPage(FileId id, uint32_t page_no, Page* out) {
+  TEMPO_ASSIGN_OR_RETURN(File * f, Find(id));
+  if (page_no >= f->pages.size()) {
+    return Status::OutOfRange("read past EOF: page " + std::to_string(page_no) +
+                              " of " + f->name);
+  }
+  TEMPO_RETURN_IF_ERROR(CheckFault());
+  accountant_.RecordRead(id, page_no, f->charged);
+  *out = *f->pages[page_no];
+  return Status::OK();
+}
+
+Status Disk::WritePage(FileId id, uint32_t page_no, const Page& page) {
+  TEMPO_ASSIGN_OR_RETURN(File * f, Find(id));
+  if (page_no >= f->pages.size()) {
+    return Status::OutOfRange("write past EOF: page " +
+                              std::to_string(page_no) + " of " + f->name);
+  }
+  TEMPO_RETURN_IF_ERROR(CheckFault());
+  accountant_.RecordWrite(id, page_no, f->charged);
+  *f->pages[page_no] = page;
+  return Status::OK();
+}
+
+StatusOr<uint32_t> Disk::AppendPage(FileId id, const Page& page) {
+  TEMPO_ASSIGN_OR_RETURN(File * f, Find(id));
+  TEMPO_RETURN_IF_ERROR(CheckFault());
+  uint32_t page_no = static_cast<uint32_t>(f->pages.size());
+  accountant_.RecordWrite(id, page_no, f->charged);
+  f->pages.push_back(std::make_unique<Page>(page));
+  return page_no;
+}
+
+uint64_t Disk::TotalPages() const {
+  uint64_t total = 0;
+  for (const auto& [id, f] : files_) total += f.pages.size();
+  return total;
+}
+
+}  // namespace tempo

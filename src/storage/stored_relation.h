@@ -1,0 +1,127 @@
+#ifndef TEMPO_STORAGE_STORED_RELATION_H_
+#define TEMPO_STORAGE_STORED_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "storage/disk.h"
+#include "storage/page.h"
+
+namespace tempo {
+
+/// A valid-time relation instance stored as a heap file of slotted pages on
+/// a simulated Disk.
+///
+/// Appends are buffered through a single in-memory page (flushed when full
+/// or on Flush()); the paper's algorithms read the relation either
+/// sequentially (Scanner) or page-at-a-time (ReadPage / ReadPageTuples).
+/// Random tuple access for sampling goes through ReadTupleRandom, which
+/// reads the containing page — one random I/O, the cost the paper assigns
+/// to one sample.
+///
+/// The tuple directory (tuples-per-page) is in-memory catalog metadata and
+/// is not charged as I/O, mirroring the paper's assumption that |r| and
+/// page counts are known to the optimizer.
+class StoredRelation {
+ public:
+  /// Creates an empty relation backed by a fresh file on `disk`.
+  StoredRelation(Disk* disk, Schema schema, std::string name);
+
+  StoredRelation(const StoredRelation&) = delete;
+  StoredRelation& operator=(const StoredRelation&) = delete;
+  StoredRelation(StoredRelation&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return name_; }
+  FileId file_id() const { return file_; }
+  Disk* disk() const { return disk_; }
+
+  uint64_t num_tuples() const { return num_tuples_; }
+  /// Pages on disk; excludes the unflushed append buffer.
+  uint32_t num_pages() const { return disk_->FileSizePages(file_); }
+  /// True if Append() has buffered tuples not yet on disk.
+  bool HasUnflushedAppends() const { return append_buffer_count_ > 0; }
+
+  /// Whether accesses to this relation's file are charged to the
+  /// accountant (see Disk::SetCharged).
+  Status SetCharged(bool charged) { return disk_->SetCharged(file_, charged); }
+
+  /// Appends a tuple (buffered). Fails if the record exceeds a page.
+  Status Append(const Tuple& tuple);
+
+  /// Appends every tuple, then flushes.
+  Status AppendAll(const std::vector<Tuple>& tuples);
+
+  /// Writes out the partial append buffer, if any.
+  Status Flush();
+
+  /// Removes all tuples (disk file truncated, directory cleared).
+  Status Clear();
+
+  /// Reads a page (charged I/O).
+  Status ReadPage(uint32_t page_no, Page* out);
+
+  /// Reads a page and decodes all its tuples (charged I/O).
+  StatusOr<std::vector<Tuple>> ReadPageTuples(uint32_t page_no);
+
+  /// Decodes every record in `page` under `schema`. No I/O.
+  static Status DecodePage(const Schema& schema, const Page& page,
+                           std::vector<Tuple>* out);
+
+  /// Number of tuples stored on `page_no` (directory lookup; no I/O).
+  uint32_t TuplesOnPage(uint32_t page_no) const;
+
+  /// Page containing the tuple with ordinal `tuple_index` (directory
+  /// lookup; no I/O).
+  uint32_t PageOfTuple(uint64_t tuple_index) const;
+
+  /// Reads the tuple with ordinal `tuple_index` by fetching its page —
+  /// the random-access path used by sampling.
+  StatusOr<Tuple> ReadTupleRandom(uint64_t tuple_index);
+
+  /// Sequential full-scan cursor. Reads pages in order (1 random +
+  /// (n-1) sequential I/Os if uninterrupted).
+  class Scanner {
+   public:
+    explicit Scanner(StoredRelation* rel) : rel_(rel) {}
+
+    /// Fetches the next tuple into `*out`; returns false at end of
+    /// relation.
+    StatusOr<bool> Next(Tuple* out);
+
+   private:
+    StoredRelation* rel_;
+    uint32_t page_no_ = 0;
+    size_t slot_ = 0;
+    std::vector<Tuple> current_;
+    bool page_loaded_ = false;
+  };
+
+  Scanner Scan() { return Scanner(this); }
+
+  /// Reads the entire relation into memory (charged as one sequential
+  /// scan). Convenience for tests and small inputs.
+  StatusOr<std::vector<Tuple>> ReadAll();
+
+ private:
+  Disk* disk_;
+  Schema schema_;
+  std::string name_;
+  FileId file_;
+
+  Page append_buffer_;
+  uint32_t append_buffer_count_ = 0;
+
+  uint64_t num_tuples_ = 0;
+  // cum_tuples_[p] = number of tuples on pages [0, p); one extra trailing
+  // entry equals the flushed-tuple total.
+  std::vector<uint64_t> cum_tuples_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_STORAGE_STORED_RELATION_H_

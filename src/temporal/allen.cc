@@ -1,0 +1,106 @@
+#include "temporal/allen.h"
+
+namespace tempo {
+
+AllenRelation ClassifyAllen(const Interval& a, const Interval& b) {
+  if (a.end() < b.start()) {
+    return a.Meets(b) ? AllenRelation::kMeets : AllenRelation::kBefore;
+  }
+  if (b.end() < a.start()) {
+    return b.Meets(a) ? AllenRelation::kMetBy : AllenRelation::kAfter;
+  }
+  // The intervals share at least one chronon.
+  if (a.start() == b.start()) {
+    if (a.end() == b.end()) return AllenRelation::kEquals;
+    return a.end() < b.end() ? AllenRelation::kStarts
+                             : AllenRelation::kStartedBy;
+  }
+  if (a.end() == b.end()) {
+    return a.start() < b.start() ? AllenRelation::kFinishedBy
+                                 : AllenRelation::kFinishes;
+  }
+  if (a.start() < b.start()) {
+    return a.end() > b.end() ? AllenRelation::kContains
+                             : AllenRelation::kOverlaps;
+  }
+  return a.end() < b.end() ? AllenRelation::kDuring
+                           : AllenRelation::kOverlappedBy;
+}
+
+AllenRelation InvertAllen(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore:
+      return AllenRelation::kAfter;
+    case AllenRelation::kMeets:
+      return AllenRelation::kMetBy;
+    case AllenRelation::kOverlaps:
+      return AllenRelation::kOverlappedBy;
+    case AllenRelation::kFinishedBy:
+      return AllenRelation::kFinishes;
+    case AllenRelation::kContains:
+      return AllenRelation::kDuring;
+    case AllenRelation::kStarts:
+      return AllenRelation::kStartedBy;
+    case AllenRelation::kEquals:
+      return AllenRelation::kEquals;
+    case AllenRelation::kStartedBy:
+      return AllenRelation::kStarts;
+    case AllenRelation::kDuring:
+      return AllenRelation::kContains;
+    case AllenRelation::kFinishes:
+      return AllenRelation::kFinishedBy;
+    case AllenRelation::kOverlappedBy:
+      return AllenRelation::kOverlaps;
+    case AllenRelation::kMetBy:
+      return AllenRelation::kMeets;
+    case AllenRelation::kAfter:
+      return AllenRelation::kBefore;
+  }
+  return AllenRelation::kEquals;
+}
+
+bool ImpliesOverlap(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore:
+    case AllenRelation::kMeets:
+    case AllenRelation::kMetBy:
+    case AllenRelation::kAfter:
+      return false;
+    default:
+      return true;
+  }
+}
+
+const char* AllenRelationName(AllenRelation r) {
+  switch (r) {
+    case AllenRelation::kBefore:
+      return "before";
+    case AllenRelation::kMeets:
+      return "meets";
+    case AllenRelation::kOverlaps:
+      return "overlaps";
+    case AllenRelation::kFinishedBy:
+      return "finished-by";
+    case AllenRelation::kContains:
+      return "contains";
+    case AllenRelation::kStarts:
+      return "starts";
+    case AllenRelation::kEquals:
+      return "equals";
+    case AllenRelation::kStartedBy:
+      return "started-by";
+    case AllenRelation::kDuring:
+      return "during";
+    case AllenRelation::kFinishes:
+      return "finishes";
+    case AllenRelation::kOverlappedBy:
+      return "overlapped-by";
+    case AllenRelation::kMetBy:
+      return "met-by";
+    case AllenRelation::kAfter:
+      return "after";
+  }
+  return "unknown";
+}
+
+}  // namespace tempo

@@ -1,0 +1,50 @@
+#ifndef TEMPO_TEMPORAL_ALLEN_H_
+#define TEMPO_TEMPORAL_ALLEN_H_
+
+#include <string>
+
+#include "temporal/interval.h"
+
+namespace tempo {
+
+/// Allen's thirteen basic interval relations [All83], adapted to the
+/// discrete closed-chronon-interval model: "meets" holds when one interval
+/// ends exactly one chronon before the other starts (there is no shared
+/// chronon, but no gap either).
+///
+/// Exactly one relation holds between any two intervals.
+enum class AllenRelation {
+  kBefore,        // a ends, gap, b starts
+  kMeets,         // a.end + 1 == b.start
+  kOverlaps,      // a starts first, they share chronons, a ends inside b
+  kFinishedBy,    // b is a suffix of a (same end, a starts earlier)
+  kContains,      // b strictly inside a
+  kStarts,        // a is a proper prefix of b
+  kEquals,        // identical
+  kStartedBy,     // b is a proper prefix of a
+  kDuring,        // a strictly inside b
+  kFinishes,      // a is a proper suffix of b
+  kOverlappedBy,  // inverse of kOverlaps
+  kMetBy,         // inverse of kMeets
+  kAfter,         // inverse of kBefore
+};
+
+/// Classifies the relation of `a` to `b`.
+AllenRelation ClassifyAllen(const Interval& a, const Interval& b);
+
+/// Inverse relation: ClassifyAllen(b, a) == Invert(ClassifyAllen(a, b)).
+AllenRelation InvertAllen(AllenRelation r);
+
+/// True iff the relation implies the intervals share at least one chronon.
+/// Every relation except before/meets/met-by/after does. Join predicates
+/// built from such relations can be evaluated through the partition
+/// framework (paper Section 1: "the techniques presented are also applicable
+/// to other valid-time joins").
+bool ImpliesOverlap(AllenRelation r);
+
+/// Stable lowercase name: "before", "meets", ...
+const char* AllenRelationName(AllenRelation r);
+
+}  // namespace tempo
+
+#endif  // TEMPO_TEMPORAL_ALLEN_H_

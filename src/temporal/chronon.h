@@ -1,0 +1,22 @@
+#ifndef TEMPO_TEMPORAL_CHRONON_H_
+#define TEMPO_TEMPORAL_CHRONON_H_
+
+#include <cstdint>
+
+namespace tempo {
+
+/// A chronon is the minimal-duration indivisible unit of the valid-time line
+/// [DS93]. The time line is modelled as the integers; timestamps are closed
+/// intervals of chronons (see interval.h).
+using Chronon = int64_t;
+
+/// Smallest / largest representable chronons. Used as the open ends of the
+/// first and last partitioning intervals so a partitioning covers the whole
+/// valid-time line (paper Section 3.3: "P ... completely covers the
+/// valid-time line").
+inline constexpr Chronon kChrononMin = INT64_MIN;
+inline constexpr Chronon kChrononMax = INT64_MAX;
+
+}  // namespace tempo
+
+#endif  // TEMPO_TEMPORAL_CHRONON_H_

@@ -1,0 +1,14 @@
+#include "temporal/interval.h"
+
+namespace tempo {
+
+std::string Interval::ToString() const {
+  auto fmt = [](Chronon t) -> std::string {
+    if (t == kChrononMin) return "-inf";
+    if (t == kChrononMax) return "+inf";
+    return std::to_string(t);
+  };
+  return "[" + fmt(start_) + ", " + fmt(end_) + "]";
+}
+
+}  // namespace tempo

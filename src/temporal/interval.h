@@ -1,0 +1,125 @@
+#ifndef TEMPO_TEMPORAL_INTERVAL_H_
+#define TEMPO_TEMPORAL_INTERVAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/assert.h"
+#include "temporal/chronon.h"
+
+namespace tempo {
+
+/// A closed interval of chronons [start, end], start <= end, denoting a
+/// tuple's time of validity (the paper's V = [Vs, Ve]).
+///
+/// Interval is a value type; all operations are pure. An *empty* result
+/// (the paper's ⊥) is represented by std::optional<Interval> == nullopt in
+/// Intersect(), never by an Interval with start > end — such a value is
+/// invalid and rejected by the constructor in debug builds.
+class Interval {
+ public:
+  /// Constructs [start, end]. Requires start <= end (checked in debug
+  /// builds; use Interval::Make for a Status-checked construction path).
+  constexpr Interval(Chronon start, Chronon end) : start_(start), end_(end) {
+    TEMPO_DCHECK(start <= end);
+  }
+
+  /// Single-chronon interval [t, t].
+  static constexpr Interval At(Chronon t) { return Interval(t, t); }
+
+  /// The whole valid-time line.
+  static constexpr Interval All() {
+    return Interval(kChrononMin, kChrononMax);
+  }
+
+  /// Validating factory: returns nullopt iff start > end.
+  static constexpr std::optional<Interval> Make(Chronon start, Chronon end) {
+    if (start > end) return std::nullopt;
+    return Interval(start, end);
+  }
+
+  constexpr Chronon start() const { return start_; }
+  constexpr Chronon end() const { return end_; }
+
+  /// Number of chronons covered. Saturates at kChrononMax on overflow
+  /// (only possible for intervals spanning nearly the whole line).
+  constexpr int64_t duration() const {
+    uint64_t d = static_cast<uint64_t>(end_) - static_cast<uint64_t>(start_);
+    if (d >= static_cast<uint64_t>(kChrononMax)) return kChrononMax;
+    return static_cast<int64_t>(d) + 1;
+  }
+
+  constexpr bool Contains(Chronon t) const { return start_ <= t && t <= end_; }
+
+  constexpr bool Contains(const Interval& other) const {
+    return start_ <= other.start_ && other.end_ <= end_;
+  }
+
+  /// True iff the two intervals share at least one chronon. This is the
+  /// temporal matching condition of the valid-time natural join.
+  constexpr bool Overlaps(const Interval& other) const {
+    return start_ <= other.end_ && other.start_ <= end_;
+  }
+
+  /// True iff this interval ends strictly before `other` starts.
+  constexpr bool Before(const Interval& other) const {
+    return end_ < other.start_;
+  }
+
+  /// True iff this interval ends exactly one chronon before `other` starts
+  /// (Allen's "meets" adapted to the discrete closed-interval model).
+  constexpr bool Meets(const Interval& other) const {
+    return end_ != kChrononMax && end_ + 1 == other.start_;
+  }
+
+  /// The paper's overlap(U, V): maximal interval contained in both, or
+  /// nullopt (⊥) if the intervals are disjoint. The procedural definition in
+  /// the paper enumerates chronons; this closed form is equivalent:
+  /// [max(starts), min(ends)] when non-empty.
+  constexpr std::optional<Interval> Intersect(const Interval& other) const {
+    Chronon s = start_ > other.start_ ? start_ : other.start_;
+    Chronon e = end_ < other.end_ ? end_ : other.end_;
+    if (s > e) return std::nullopt;
+    return Interval(s, e);
+  }
+
+  /// Smallest interval containing both inputs (they need not overlap).
+  constexpr Interval Span(const Interval& other) const {
+    Chronon s = start_ < other.start_ ? start_ : other.start_;
+    Chronon e = end_ > other.end_ ? end_ : other.end_;
+    return Interval(s, e);
+  }
+
+  constexpr bool operator==(const Interval& other) const {
+    return start_ == other.start_ && end_ == other.end_;
+  }
+  constexpr bool operator!=(const Interval& other) const {
+    return !(*this == other);
+  }
+
+  /// "[start, end]"; the infinite ends print as "-inf" / "+inf".
+  std::string ToString() const;
+
+ private:
+  Chronon start_;
+  Chronon end_;
+};
+
+/// The paper's overlap(U, V) as a free function, matching the paper's name.
+inline constexpr std::optional<Interval> Overlap(const Interval& u,
+                                                 const Interval& v) {
+  return u.Intersect(v);
+}
+
+/// Orders by start, then end. Sort-merge join sorts relations with this.
+struct IntervalStartLess {
+  constexpr bool operator()(const Interval& a, const Interval& b) const {
+    if (a.start() != b.start()) return a.start() < b.start();
+    return a.end() < b.end();
+  }
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_TEMPORAL_INTERVAL_H_

@@ -1,0 +1,58 @@
+#ifndef TEMPO_TEMPORAL_INTERVAL_PREDICATE_H_
+#define TEMPO_TEMPORAL_INTERVAL_PREDICATE_H_
+
+#include "temporal/interval.h"
+
+namespace tempo {
+
+/// Timestamp predicates of the valid-time join family the paper surveys in
+/// Section 4.1 (time-join, intersect-join, overlap-join, contain-join
+/// [SG89, LM92a]). Every one of these implies that the two intervals share
+/// at least one chronon, which is exactly why the partition framework
+/// evaluates them all: tuples satisfying the predicate necessarily meet in
+/// some partition (Section 1: "the techniques presented are also
+/// applicable to other valid-time joins").
+enum class IntervalJoinPredicate {
+  /// x[V] and y[V] share a chronon (intersect-join / overlap-join /
+  /// time-join condition; the valid-time natural join's condition).
+  kOverlap,
+  /// x[V] contains y[V] (contain-join, left side containing).
+  kContains,
+  /// x[V] is contained in y[V].
+  kContainedIn,
+  /// x[V] = y[V].
+  kEqual,
+};
+
+inline bool EvalIntervalPredicate(IntervalJoinPredicate pred,
+                                  const Interval& x, const Interval& y) {
+  switch (pred) {
+    case IntervalJoinPredicate::kOverlap:
+      return x.Overlaps(y);
+    case IntervalJoinPredicate::kContains:
+      return x.Contains(y);
+    case IntervalJoinPredicate::kContainedIn:
+      return y.Contains(x);
+    case IntervalJoinPredicate::kEqual:
+      return x == y;
+  }
+  return false;
+}
+
+inline const char* IntervalJoinPredicateName(IntervalJoinPredicate pred) {
+  switch (pred) {
+    case IntervalJoinPredicate::kOverlap:
+      return "overlap";
+    case IntervalJoinPredicate::kContains:
+      return "contains";
+    case IntervalJoinPredicate::kContainedIn:
+      return "contained-in";
+    case IntervalJoinPredicate::kEqual:
+      return "equal";
+  }
+  return "unknown";
+}
+
+}  // namespace tempo
+
+#endif  // TEMPO_TEMPORAL_INTERVAL_PREDICATE_H_

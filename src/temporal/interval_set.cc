@@ -1,0 +1,125 @@
+#include "temporal/interval_set.h"
+
+#include <algorithm>
+
+namespace tempo {
+
+namespace {
+
+// True when a and b overlap or are adjacent (no gap between them), i.e.
+// their union is a single interval.
+bool Mergeable(const Interval& a, const Interval& b) {
+  return a.Overlaps(b) || a.Meets(b) || b.Meets(a);
+}
+
+}  // namespace
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals)
+    : intervals_(std::move(intervals)) {
+  Normalize();
+}
+
+void IntervalSet::Normalize() {
+  if (intervals_.empty()) return;
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const Interval& a, const Interval& b) {
+              return IntervalStartLess()(a, b);
+            });
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size());
+  merged.push_back(intervals_.front());
+  for (size_t i = 1; i < intervals_.size(); ++i) {
+    Interval& last = merged.back();
+    const Interval& cur = intervals_[i];
+    if (Mergeable(last, cur)) {
+      last = last.Span(cur);
+    } else {
+      merged.push_back(cur);
+    }
+  }
+  intervals_ = std::move(merged);
+}
+
+void IntervalSet::Add(const Interval& iv) {
+  intervals_.push_back(iv);
+  Normalize();
+}
+
+bool IntervalSet::Contains(Chronon t) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](Chronon v, const Interval& iv) { return v < iv.start(); });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return it->Contains(t);
+}
+
+int64_t IntervalSet::TotalDuration() const {
+  int64_t total = 0;
+  for (const auto& iv : intervals_) total += iv.duration();
+  return total;
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+  std::vector<Interval> all = intervals_;
+  all.insert(all.end(), other.intervals_.begin(), other.intervals_.end());
+  return IntervalSet(std::move(all));
+}
+
+IntervalSet IntervalSet::Intersection(const IntervalSet& other) const {
+  std::vector<Interval> out;
+  size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const Interval& a = intervals_[i];
+    const Interval& b = other.intervals_[j];
+    if (auto common = a.Intersect(b)) out.push_back(*common);
+    // Advance whichever interval ends first.
+    if (a.end() < b.end()) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  IntervalSet result;
+  result.intervals_ = std::move(out);  // Already disjoint, sorted, non-adjacent.
+  return result;
+}
+
+IntervalSet IntervalSet::Difference(const IntervalSet& other) const {
+  std::vector<Interval> out;
+  size_t j = 0;
+  for (const Interval& a : intervals_) {
+    Chronon lo = a.start();
+    // Skip subtrahend intervals entirely before this one.
+    while (j < other.intervals_.size() && other.intervals_[j].end() < lo) ++j;
+    size_t k = j;
+    bool exhausted = false;
+    while (!exhausted && k < other.intervals_.size() &&
+           other.intervals_[k].start() <= a.end()) {
+      const Interval& b = other.intervals_[k];
+      if (b.start() > lo) {
+        out.push_back(Interval(lo, b.start() - 1));
+      }
+      if (b.end() >= a.end()) {
+        exhausted = true;  // Remainder of `a` is covered.
+      } else {
+        lo = b.end() + 1;
+        ++k;
+      }
+    }
+    if (!exhausted && lo <= a.end()) {
+      out.push_back(Interval(lo, a.end()));
+    }
+  }
+  IntervalSet result;
+  result.intervals_ = std::move(out);
+  return result;
+}
+
+IntervalSet SubtractAll(const Interval& universe,
+                        const std::vector<Interval>& covered) {
+  IntervalSet u(std::vector<Interval>{universe});
+  return u.Difference(IntervalSet(covered));
+}
+
+}  // namespace tempo

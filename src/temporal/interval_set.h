@@ -1,0 +1,58 @@
+#ifndef TEMPO_TEMPORAL_INTERVAL_SET_H_
+#define TEMPO_TEMPORAL_INTERVAL_SET_H_
+
+#include <vector>
+
+#include "temporal/interval.h"
+
+namespace tempo {
+
+/// A set of chronons represented as sorted, pairwise-disjoint,
+/// non-adjacent closed intervals. Used by the TE-outerjoin (event join) to
+/// compute the subintervals of a tuple's validity not covered by any
+/// matching tuple, and by coalescing.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Constructs from arbitrary (possibly overlapping, unsorted) intervals;
+  /// normalizes by merging overlapping and adjacent ones.
+  explicit IntervalSet(std::vector<Interval> intervals);
+
+  /// Adds an interval, keeping the representation normalized. O(n).
+  void Add(const Interval& iv);
+
+  bool empty() const { return intervals_.empty(); }
+  size_t size() const { return intervals_.size(); }
+
+  /// The normalized intervals in increasing order.
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  bool Contains(Chronon t) const;
+
+  /// Total number of chronons covered.
+  int64_t TotalDuration() const;
+
+  /// Set union / intersection / difference. All O(n + m).
+  IntervalSet Union(const IntervalSet& other) const;
+  IntervalSet Intersection(const IntervalSet& other) const;
+  IntervalSet Difference(const IntervalSet& other) const;
+
+  bool operator==(const IntervalSet& other) const {
+    return intervals_ == other.intervals_;
+  }
+
+ private:
+  void Normalize();
+
+  std::vector<Interval> intervals_;
+};
+
+/// Subintervals of `universe` not covered by any interval in `covered`.
+/// This is the TE-outerjoin's "unmatched portion" computation.
+IntervalSet SubtractAll(const Interval& universe,
+                        const std::vector<Interval>& covered);
+
+}  // namespace tempo
+
+#endif  // TEMPO_TEMPORAL_INTERVAL_SET_H_

@@ -1,0 +1,71 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+namespace tempo {
+
+Schema BenchSchema() {
+  return Schema({{"key", ValueType::kInt64}, {"pad", ValueType::kString}});
+}
+
+Tuple MakeBenchTuple(int64_t key, Interval iv, uint64_t tuple_bytes) {
+  TEMPO_CHECK(tuple_bytes >= 29);
+  std::string pad(tuple_bytes - 29, 'x');
+  return Tuple({Value(key), Value(std::move(pad))}, iv);
+}
+
+StatusOr<std::unique_ptr<StoredRelation>> GenerateRelation(
+    Disk* disk, const WorkloadSpec& spec, const std::string& name) {
+  if (spec.num_long_lived > spec.num_tuples) {
+    return Status::InvalidArgument(
+        "num_long_lived exceeds num_tuples");
+  }
+  if (spec.lifespan < 2) {
+    return Status::InvalidArgument("lifespan must be at least 2 chronons");
+  }
+  if (spec.tuple_bytes < 29) {
+    return Status::InvalidArgument("tuple_bytes must be at least 29");
+  }
+  Random rng(spec.seed);
+  std::unique_ptr<ZipfGenerator> zipf;
+  if (spec.zipf_theta > 0.0) {
+    zipf = std::make_unique<ZipfGenerator>(spec.distinct_keys,
+                                           spec.zipf_theta);
+  }
+  auto rel = std::make_unique<StoredRelation>(disk, BenchSchema(), name);
+
+  const int64_t long_duration =
+      spec.long_lived_duration > 0 ? spec.long_lived_duration
+                                   : spec.lifespan / 2;
+  // Interleave long-lived tuples uniformly through the file so that both
+  // kinds are spread over all pages, as the paper's generator implies.
+  const uint64_t n = spec.num_tuples;
+  uint64_t long_emitted = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    // Emit a long-lived tuple whenever the long-lived quota is behind
+    // its proportional schedule.
+    bool make_long =
+        long_emitted * n < spec.num_long_lived * i + spec.num_long_lived;
+    if (long_emitted >= spec.num_long_lived) make_long = false;
+
+    int64_t key = zipf != nullptr
+                      ? static_cast<int64_t>(zipf->Next(rng))
+                      : static_cast<int64_t>(rng.Uniform(spec.distinct_keys));
+    Interval iv = Interval::At(0);
+    if (make_long) {
+      ++long_emitted;
+      Chronon start = rng.UniformRange(0, spec.lifespan / 2 - 1);
+      iv = Interval(start + spec.time_offset,
+                    start + long_duration + spec.time_offset);
+    } else {
+      Chronon start = rng.UniformRange(0, spec.lifespan - 1);
+      iv = Interval(start + spec.time_offset, start + spec.time_offset);
+    }
+    TEMPO_RETURN_IF_ERROR(
+        rel->Append(MakeBenchTuple(key, iv, spec.tuple_bytes)));
+  }
+  TEMPO_RETURN_IF_ERROR(rel->Flush());
+  return rel;
+}
+
+}  // namespace tempo

@@ -1,0 +1,62 @@
+#ifndef TEMPO_WORKLOAD_GENERATOR_H_
+#define TEMPO_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/statusor.h"
+#include "storage/stored_relation.h"
+
+namespace tempo {
+
+/// Synthetic valid-time relation specification, following the paper's
+/// experiment setups (Sections 4.2-4.4):
+///
+///  - `num_tuples - num_long_lived` tuples are "randomly distributed over
+///    the lifespan of the relation" with "valid-time interval ... exactly
+///    one chronon long";
+///  - `num_long_lived` tuples have "their starting chronon randomly
+///    distributed over the first 1/2 of the relation lifespan, and their
+///    ending chronon equal to the starting chronon plus 1/2 of the
+///    relation lifespan";
+///  - join-attribute values are drawn from `distinct_keys` values,
+///    uniformly, or Zipf-skewed when zipf_theta > 0 (an extension used by
+///    the skew ablation).
+///
+/// Tuples are appended in generation order (i.e. unsorted in time),
+/// matching the paper's "we do not assume any sort ordering of input
+/// tuples".
+struct WorkloadSpec {
+  uint64_t num_tuples = 0;
+  uint64_t num_long_lived = 0;
+  Chronon lifespan = 1000000;
+  /// 0 means the paper's lifespan/2.
+  int64_t long_lived_duration = 0;
+  uint64_t distinct_keys = 1024;
+  double zipf_theta = 0.0;
+  /// Total serialized record size; padding fills the remainder. Must be
+  /// >= 29 (16 interval + 1 null bitmap + 8 key + 4 string length).
+  uint64_t tuple_bytes = 123;
+  uint64_t seed = 1;
+  /// Shifts every generated chronon by this offset (used by the skew
+  /// ablation to misalign outer and inner distributions).
+  Chronon time_offset = 0;
+};
+
+/// The schema generated relations use: an int64 join attribute "key" plus
+/// a string "pad" sized to reach WorkloadSpec::tuple_bytes.
+Schema BenchSchema();
+
+/// Generates a relation per `spec` onto `disk`. Generation I/O (the
+/// appends) is charged unless the caller uncharges the file; benchmarks
+/// reset the accountant after loading instead.
+StatusOr<std::unique_ptr<StoredRelation>> GenerateRelation(
+    Disk* disk, const WorkloadSpec& spec, const std::string& name);
+
+/// Builds one tuple of the bench schema.
+Tuple MakeBenchTuple(int64_t key, Interval iv, uint64_t tuple_bytes);
+
+}  // namespace tempo
+
+#endif  // TEMPO_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,241 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/format.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "test_util.h"
+
+namespace tempo {
+namespace {
+
+// ---------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("page 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "page 7");
+  EXPECT_EQ(s.ToString(), "NotFound: page 7");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Corruption("").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::ResourceExhausted("").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::FailedPrecondition("").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotSupported("").code(), StatusCode::kNotSupported);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+Status FailsAtTwo(int x) {
+  if (x == 2) return Status::InvalidArgument("two");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int x) {
+  TEMPO_RETURN_IF_ERROR(FailsAtTwo(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(2).code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+StatusOr<int> DoublePositive(int x) {
+  TEMPO_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  StatusOr<int> ok = ParsePositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+  EXPECT_EQ(ok.value_or(-1), 21);
+
+  StatusOr<int> err = ParsePositive(-5);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*DoublePositive(4), 8);
+  EXPECT_FALSE(DoublePositive(0).ok());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> p = std::make_unique<int>(7);
+  ASSERT_TRUE(p.ok());
+  std::unique_ptr<int> owned = std::move(p).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+// ---------------------------------------------------------------------
+// Random
+// ---------------------------------------------------------------------
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformStaysInBounds) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Random rng(17);
+  auto sample = rng.SampleWithoutReplacement(1000, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (uint64_t v : sample) EXPECT_LT(v, 1000u);
+}
+
+TEST(RandomTest, SampleWithoutReplacementFullPopulation) {
+  Random rng(19);
+  auto sample = rng.SampleWithoutReplacement(50, 50);
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Random rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  Random rng(29);
+  ZipfGenerator zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[zipf.Next(rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 600);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  Random rng(31);
+  ZipfGenerator zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Next(rng)];
+  EXPECT_GT(counts[0], counts[10] * 3);
+  EXPECT_GT(counts[0], counts[99] * 20);
+}
+
+// ---------------------------------------------------------------------
+// Format helpers
+// ---------------------------------------------------------------------
+
+TEST(FormatTest, Commas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(4096), "4 KiB");
+  EXPECT_EQ(FormatBytes(32ull * 1024 * 1024), "32 MiB");
+}
+
+TEST(FormatTest, TextTableAlignsColumns) {
+  TextTable t({"a", "bbbb"});
+  t.AddRow({"xx", "y"});
+  t.AddRow({"1", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("a   bbbb"), std::string::npos);
+  EXPECT_NE(s.find("xx  y"), std::string::npos);
+}
+
+TEST(FormatTest, TextTableCsv) {
+  TextTable t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace tempo

@@ -1,0 +1,184 @@
+// CSV interchange and relation persistence.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "relation/csv.h"
+#include "storage/relation_io.h"
+#include "test_util.h"
+
+namespace tempo {
+namespace {
+
+using ::tempo::testing::MakeRelation;
+using ::tempo::testing::RandomTuples;
+using ::tempo::testing::T;
+using ::tempo::testing::TestSchema;
+
+TEST(CsvTest, RoundTripSimple) {
+  std::vector<Tuple> tuples{T(1, "ada", 0, 120), T(2, "grace", 50, 300)};
+  std::string csv = ToCsv(TestSchema(), tuples);
+  EXPECT_NE(csv.find("key,name,__vs,__ve"), std::string::npos);
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto back, FromCsv(TestSchema(), csv));
+  EXPECT_EQ(back, tuples);
+}
+
+TEST(CsvTest, QuotingSurvivesCommasQuotesAndNewlines) {
+  std::vector<Tuple> tuples{
+      T(1, "a,b", 0, 1),
+      T(2, "say \"hi\"", 2, 3),
+      T(3, "line1\nline2", 4, 5),
+  };
+  std::string csv = ToCsv(TestSchema(), tuples);
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto back, FromCsv(TestSchema(), csv));
+  EXPECT_EQ(back, tuples);
+}
+
+TEST(CsvTest, NullRoundTrip) {
+  Schema schema({{"a", ValueType::kInt64}, {"b", ValueType::kString}});
+  std::vector<Tuple> tuples{
+      Tuple({Value(int64_t{1}), Value::Null()}, Interval(0, 1)),
+      Tuple({Value::Null(), Value("NULL")}, Interval(2, 3)),  // quoted "NULL"
+  };
+  std::string csv = ToCsv(schema, tuples);
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto back, FromCsv(schema, csv));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back[0].value(1).is_null());
+  EXPECT_TRUE(back[1].value(0).is_null());
+  EXPECT_EQ(back[1].value(1).AsString(), "NULL");  // literal string survives
+}
+
+TEST(CsvTest, DoubleRoundTrip) {
+  Schema schema({{"x", ValueType::kDouble}});
+  std::vector<Tuple> tuples{Tuple({Value(0.1)}, Interval(0, 1)),
+                            Tuple({Value(-3.5e300)}, Interval(1, 2))};
+  std::string csv = ToCsv(schema, tuples);
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto back, FromCsv(schema, csv));
+  EXPECT_EQ(back, tuples);
+}
+
+TEST(CsvTest, HeaderMismatchRejected) {
+  EXPECT_FALSE(FromCsv(TestSchema(), "wrong,name,__vs,__ve\n").ok());
+  EXPECT_FALSE(FromCsv(TestSchema(), "key,name,__vs\n").ok());
+  EXPECT_FALSE(FromCsv(TestSchema(), "key,name,__ve,__vs\n").ok());
+}
+
+TEST(CsvTest, MalformedRowsRejectedWithLineNumbers) {
+  std::string header = "key,name,__vs,__ve\n";
+  auto expect_bad = [&](const std::string& row, const char* what) {
+    auto result = FromCsv(TestSchema(), header + row);
+    EXPECT_FALSE(result.ok()) << what;
+    EXPECT_NE(result.status().message().find("line 2"),
+              std::string_view::npos)
+        << result.status().ToString();
+  };
+  expect_bad("x,\"a\",0,1\n", "non-integer key");
+  expect_bad("1,\"a\",zero,1\n", "non-integer vs");
+  expect_bad("1,\"a\",5,1\n", "inverted interval");
+  expect_bad("1,\"a\",0\n", "missing field");
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  EXPECT_FALSE(
+      FromCsv(TestSchema(), "key,name,__vs,__ve\n1,\"oops,0,1\n").ok());
+}
+
+TEST(CsvTest, BlankLinesIgnored) {
+  std::string csv = "key,name,__vs,__ve\n1,\"a\",0,1\n\n2,\"b\",2,3\n";
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto back, FromCsv(TestSchema(), csv));
+  EXPECT_EQ(back.size(), 2u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Random rng(1);
+  std::vector<Tuple> tuples = RandomTuples(rng, 500, 20, 1000, 0.3);
+  std::string path = ::testing::TempDir() + "/tempo_csv_test.csv";
+  TEMPO_ASSERT_OK(ExportCsvFile(TestSchema(), tuples, path));
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto back, ImportCsvFile(TestSchema(), path));
+  EXPECT_EQ(back, tuples);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ImportMissingFileFails) {
+  EXPECT_EQ(ImportCsvFile(TestSchema(), "/nonexistent/nope.csv")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RelationIoTest, SaveLoadRoundTrip) {
+  Disk disk;
+  Random rng(2);
+  std::vector<Tuple> tuples = RandomTuples(rng, 2000, 50, 5000, 0.2);
+  auto rel = MakeRelation(&disk, TestSchema(), tuples, "r");
+  std::string path = ::testing::TempDir() + "/tempo_rel_test.bin";
+  TEMPO_ASSERT_OK(SaveRelation(rel.get(), path));
+
+  Disk other;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto loaded, LoadRelation(&other, path, "r2"));
+  EXPECT_EQ(loaded->schema(), rel->schema());
+  EXPECT_EQ(loaded->num_tuples(), rel->num_tuples());
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto back, loaded->ReadAll());
+  EXPECT_EQ(back, tuples);
+  std::remove(path.c_str());
+}
+
+TEST(RelationIoTest, SaveRequiresFlush) {
+  Disk disk;
+  StoredRelation rel(&disk, TestSchema(), "r");
+  TEMPO_ASSERT_OK(rel.Append(T(1, "a", 0, 1)));
+  EXPECT_EQ(SaveRelation(&rel, "/tmp/never-written.bin").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RelationIoTest, LoadRejectsCorruptImages) {
+  Disk disk;
+  auto rel = MakeRelation(&disk, TestSchema(), {T(1, "a", 0, 1)}, "r");
+  std::string path = ::testing::TempDir() + "/tempo_rel_corrupt.bin";
+  TEMPO_ASSERT_OK(SaveRelation(rel.get(), path));
+
+  // Truncate the image at various points.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string data;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, got);
+  std::fclose(f);
+
+  Disk other;
+  for (size_t cut : {size_t{0}, size_t{5}, data.size() / 2,
+                     data.size() - 1}) {
+    std::FILE* w = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(w, nullptr);
+    std::fwrite(data.data(), 1, cut, w);
+    std::fclose(w);
+    auto result = LoadRelation(&other, path, "broken");
+    EXPECT_FALSE(result.ok()) << "cut " << cut;
+  }
+  // Bad magic.
+  {
+    std::string bad = data;
+    bad[0] = 'X';
+    std::FILE* w = std::fopen(path.c_str(), "wb");
+    std::fwrite(bad.data(), 1, bad.size(), w);
+    std::fclose(w);
+    EXPECT_FALSE(LoadRelation(&other, path, "broken").ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RelationIoTest, EmptyRelation) {
+  Disk disk;
+  auto rel = MakeRelation(&disk, TestSchema(), {}, "empty");
+  std::string path = ::testing::TempDir() + "/tempo_rel_empty.bin";
+  TEMPO_ASSERT_OK(SaveRelation(rel.get(), path));
+  Disk other;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto loaded, LoadRelation(&other, path, "e2"));
+  EXPECT_EQ(loaded->num_tuples(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tempo

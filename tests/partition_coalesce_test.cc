@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "algebra/operators.h"
+#include "core/partition_coalesce.h"
+#include "join/reference_join.h"
+#include "test_util.h"
+
+namespace tempo {
+namespace {
+
+using ::tempo::testing::MakeRelation;
+using ::tempo::testing::RandomTuples;
+using ::tempo::testing::T;
+using ::tempo::testing::TestSchema;
+
+TEST(PartitionCoalesceTest, MergesAcrossPartitionBoundaries) {
+  Disk disk;
+  // Two abutting fragments of the same fact, plus noise, forced into
+  // several partitions: the fragments must merge even when they land in
+  // different partitions.
+  std::vector<Tuple> tuples{T(1, "a", 0, 49),   T(1, "a", 50, 99),
+                            T(2, "b", 10, 20),  T(2, "b", 60, 70),
+                            T(1, "a", 200, 220)};
+  auto in = MakeRelation(&disk, TestSchema(), tuples, "in");
+  StoredRelation out(&disk, TestSchema(), "out");
+  PartitionJoinOptions options;
+  options.buffer_pages = 8;
+  options.forced_num_partitions = 3;
+  TEMPO_ASSERT_OK_AND_ASSIGN(JoinRunStats stats,
+                             PartitionCoalesce(in.get(), &out, options));
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> result, out.ReadAll());
+  std::vector<Tuple> expected = Coalesce(tuples);
+  EXPECT_TRUE(SameTupleMultiset(result, expected));
+  EXPECT_EQ(stats.output_tuples, expected.size());
+}
+
+TEST(PartitionCoalesceTest, SinglePartitionPath) {
+  Disk disk;
+  std::vector<Tuple> tuples{T(1, "a", 0, 5), T(1, "a", 6, 10)};
+  auto in = MakeRelation(&disk, TestSchema(), tuples, "in");
+  StoredRelation out(&disk, TestSchema(), "out");
+  PartitionJoinOptions options;
+  options.buffer_pages = 1024;
+  TEMPO_ASSERT_OK_AND_ASSIGN(JoinRunStats stats,
+                             PartitionCoalesce(in.get(), &out, options));
+  EXPECT_EQ(stats.details.at("partitions"), 1.0);
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> result, out.ReadAll());
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].interval(), Interval(0, 10));
+}
+
+TEST(PartitionCoalesceTest, SchemaMismatchRejected) {
+  Disk disk;
+  auto in = MakeRelation(&disk, TestSchema(), {}, "in");
+  Schema other({{"x", ValueType::kInt64}});
+  StoredRelation out(&disk, other, "out");
+  PartitionJoinOptions options;
+  EXPECT_FALSE(PartitionCoalesce(in.get(), &out, options).ok());
+}
+
+struct CoalesceCase {
+  uint32_t buffer_pages;
+  uint32_t forced_partitions;
+  double long_lived_prob;
+  uint64_t seed;
+};
+
+class PartitionCoalesceOracleTest
+    : public ::testing::TestWithParam<CoalesceCase> {};
+
+TEST_P(PartitionCoalesceOracleTest, MatchesInMemoryCoalesce) {
+  const CoalesceCase& c = GetParam();
+  Random rng(c.seed);
+  // Few distinct values and a dense chronon range so runs frequently abut
+  // and span partition boundaries.
+  std::vector<Tuple> tuples;
+  for (const Tuple& t : RandomTuples(rng, 600, 8, 200, c.long_lived_prob)) {
+    tuples.push_back(T(t.value(0).AsInt64(), "v", t.interval().start(),
+                       t.interval().end()));
+  }
+  Disk disk;
+  auto in = MakeRelation(&disk, TestSchema(), tuples, "in");
+  StoredRelation out(&disk, TestSchema(), "out");
+  PartitionJoinOptions options;
+  options.buffer_pages = c.buffer_pages;
+  options.forced_num_partitions = c.forced_partitions;
+  options.seed = c.seed;
+  TEMPO_ASSERT_OK(PartitionCoalesce(in.get(), &out, options).status());
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> result, out.ReadAll());
+  std::vector<Tuple> expected = Coalesce(tuples);
+  EXPECT_TRUE(SameTupleMultiset(result, expected))
+      << "got " << result.size() << ", want " << expected.size();
+  // Output must itself be coalesced (idempotence).
+  EXPECT_TRUE(SameTupleMultiset(Coalesce(result), result));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionCoalesceOracleTest,
+    ::testing::Values(CoalesceCase{6, 0, 0.1, 1}, CoalesceCase{6, 0, 0.6, 2},
+                      CoalesceCase{8, 5, 0.3, 3}, CoalesceCase{12, 9, 0.0, 4},
+                      CoalesceCase{16, 2, 0.5, 5},
+                      CoalesceCase{512, 0, 0.3, 6}),
+    [](const ::testing::TestParamInfo<CoalesceCase>& info) {
+      const CoalesceCase& c = info.param;
+      return "b" + std::to_string(c.buffer_pages) + "_f" +
+             std::to_string(c.forced_partitions) + "_ll" +
+             std::to_string(static_cast<int>(c.long_lived_prob * 10)) +
+             "_s" + std::to_string(c.seed);
+    });
+
+}  // namespace
+}  // namespace tempo

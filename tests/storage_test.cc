@@ -1,0 +1,475 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_manager.h"
+#include "storage/disk.h"
+#include "storage/io_accountant.h"
+#include "storage/page.h"
+#include "storage/stored_relation.h"
+#include "test_util.h"
+
+namespace tempo {
+namespace {
+
+using ::tempo::testing::MakeRelation;
+using ::tempo::testing::T;
+using ::tempo::testing::TestSchema;
+
+// ---------------------------------------------------------------------
+// Page
+// ---------------------------------------------------------------------
+
+TEST(PageTest, StartsEmpty) {
+  Page p;
+  EXPECT_EQ(p.num_records(), 0);
+  EXPECT_GT(p.FreeSpace(), 4000u);
+}
+
+TEST(PageTest, AddAndGet) {
+  Page p;
+  auto s1 = p.AddRecord("hello");
+  auto s2 = p.AddRecord("world!");
+  ASSERT_TRUE(s1.has_value());
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(p.GetRecord(*s1), "hello");
+  EXPECT_EQ(p.GetRecord(*s2), "world!");
+  EXPECT_EQ(p.num_records(), 2);
+}
+
+TEST(PageTest, ZeroLengthRecord) {
+  Page p;
+  auto slot = p.AddRecord("");
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(p.GetRecord(*slot), "");
+}
+
+TEST(PageTest, FillsToCapacityThenRejects) {
+  Page p;
+  std::string rec(100, 'a');
+  int added = 0;
+  while (p.AddRecord(rec).has_value()) ++added;
+  // 100 bytes + 4 slot bytes per record, 4 header bytes: 39 records fit.
+  EXPECT_EQ(added, static_cast<int>((kPageSize - 4) / 104));
+  EXPECT_FALSE(p.Fits(rec.size()));
+  // A smaller record may still fit.
+  EXPECT_EQ(p.num_records(), added);
+}
+
+TEST(PageTest, MaxRecordSizeFitsExactly) {
+  Page p;
+  std::string rec(kMaxRecordSize, 'b');
+  EXPECT_TRUE(p.AddRecord(rec).has_value());
+  EXPECT_FALSE(p.AddRecord("").has_value());
+}
+
+TEST(PageTest, OversizeRecordRejected) {
+  Page p;
+  std::string rec(kMaxRecordSize + 1, 'b');
+  EXPECT_FALSE(p.AddRecord(rec).has_value());
+}
+
+TEST(PageTest, ResetClears) {
+  Page p;
+  p.AddRecord("data");
+  p.Reset();
+  EXPECT_EQ(p.num_records(), 0);
+}
+
+TEST(PageTest, CopyPreservesContents) {
+  Page p;
+  p.AddRecord("abc");
+  Page q = p;
+  EXPECT_EQ(q.GetRecord(0), "abc");
+}
+
+// ---------------------------------------------------------------------
+// IoAccountant
+// ---------------------------------------------------------------------
+
+TEST(IoAccountantTest, SequentialRunCostsOneRandom) {
+  IoAccountant acct;
+  for (uint32_t p = 0; p < 10; ++p) acct.RecordRead(1, p, true);
+  EXPECT_EQ(acct.stats().random_reads, 1u);
+  EXPECT_EQ(acct.stats().sequential_reads, 9u);
+}
+
+TEST(IoAccountantTest, BackwardJumpIsRandom) {
+  IoAccountant acct;
+  acct.RecordRead(1, 5, true);
+  acct.RecordRead(1, 4, true);
+  EXPECT_EQ(acct.stats().random_reads, 2u);
+}
+
+TEST(IoAccountantTest, RetouchSamePageIsSequential) {
+  IoAccountant acct;
+  acct.RecordRead(1, 5, true);
+  acct.RecordRead(1, 5, true);
+  EXPECT_EQ(acct.stats().random_reads, 1u);
+  EXPECT_EQ(acct.stats().sequential_reads, 1u);
+}
+
+TEST(IoAccountantTest, PerFileModelKeepsStreamsIndependent) {
+  IoAccountant acct;
+  acct.set_head_model(HeadModel::kPerFile);
+  // Interleave two files; each stays sequential after its first access.
+  for (uint32_t p = 0; p < 5; ++p) {
+    acct.RecordRead(1, p, true);
+    acct.RecordRead(2, p, true);
+  }
+  EXPECT_EQ(acct.stats().random_reads, 2u);
+  EXPECT_EQ(acct.stats().sequential_reads, 8u);
+}
+
+TEST(IoAccountantTest, SingleHeadModelChargesInterleaving) {
+  IoAccountant acct;
+  acct.set_head_model(HeadModel::kSingleHead);
+  for (uint32_t p = 0; p < 5; ++p) {
+    acct.RecordRead(1, p, true);
+    acct.RecordRead(2, p, true);
+  }
+  // Every access switches files: all random.
+  EXPECT_EQ(acct.stats().random_reads, 10u);
+  EXPECT_EQ(acct.stats().sequential_reads, 0u);
+}
+
+TEST(IoAccountantTest, UnchargedAccessesInvisible) {
+  IoAccountant acct;
+  acct.RecordRead(1, 0, true);
+  acct.RecordWrite(2, 0, false);  // uncharged: no count, no head movement
+  acct.RecordRead(1, 1, true);
+  EXPECT_EQ(acct.stats().random_reads, 1u);
+  EXPECT_EQ(acct.stats().sequential_reads, 1u);
+  EXPECT_EQ(acct.stats().random_writes, 0u);
+}
+
+TEST(IoAccountantTest, WritesClassifiedLikeReads) {
+  IoAccountant acct;
+  for (uint32_t p = 0; p < 4; ++p) acct.RecordWrite(3, p, true);
+  EXPECT_EQ(acct.stats().random_writes, 1u);
+  EXPECT_EQ(acct.stats().sequential_writes, 3u);
+}
+
+TEST(IoAccountantTest, CostAppliesWeights) {
+  IoStats stats;
+  stats.random_reads = 3;
+  stats.sequential_reads = 10;
+  EXPECT_DOUBLE_EQ(stats.Cost(CostModel::Ratio(5.0)), 3 * 5.0 + 10.0);
+}
+
+TEST(IoAccountantTest, StatsArithmetic) {
+  IoStats a{5, 10, 2, 1}, b{1, 3, 1, 0};
+  IoStats diff = a - b;
+  EXPECT_EQ(diff.random_reads, 4u);
+  EXPECT_EQ(diff.sequential_reads, 7u);
+  EXPECT_EQ((diff + b), a);
+  EXPECT_EQ(a.total_ops(), 18u);
+}
+
+TEST(IoAccountantTest, ResetClearsHead) {
+  IoAccountant acct;
+  acct.RecordRead(1, 0, true);
+  acct.Reset();
+  acct.RecordRead(1, 1, true);
+  EXPECT_EQ(acct.stats().random_reads, 1u);
+  EXPECT_EQ(acct.stats().sequential_reads, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Disk
+// ---------------------------------------------------------------------
+
+TEST(DiskTest, CreateWriteRead) {
+  Disk disk;
+  FileId f = disk.CreateFile("test");
+  Page p;
+  p.AddRecord("payload");
+  TEMPO_ASSERT_OK_AND_ASSIGN(uint32_t page_no, disk.AppendPage(f, p));
+  EXPECT_EQ(page_no, 0u);
+  EXPECT_EQ(disk.FileSizePages(f), 1u);
+  Page back;
+  TEMPO_ASSERT_OK(disk.ReadPage(f, 0, &back));
+  EXPECT_EQ(back.GetRecord(0), "payload");
+}
+
+TEST(DiskTest, ReadPastEofFails) {
+  Disk disk;
+  FileId f = disk.CreateFile("t");
+  Page p;
+  EXPECT_EQ(disk.ReadPage(f, 0, &p).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DiskTest, UnknownFileFails) {
+  Disk disk;
+  Page p;
+  EXPECT_EQ(disk.ReadPage(999, 0, &p).code(), StatusCode::kNotFound);
+  EXPECT_EQ(disk.DeleteFile(999).code(), StatusCode::kNotFound);
+}
+
+TEST(DiskTest, OverwritePage) {
+  Disk disk;
+  FileId f = disk.CreateFile("t");
+  Page p;
+  p.AddRecord("v1");
+  TEMPO_ASSERT_OK_AND_ASSIGN(uint32_t n, disk.AppendPage(f, p));
+  Page q;
+  q.AddRecord("v2");
+  TEMPO_ASSERT_OK(disk.WritePage(f, n, q));
+  Page back;
+  TEMPO_ASSERT_OK(disk.ReadPage(f, n, &back));
+  EXPECT_EQ(back.GetRecord(0), "v2");
+}
+
+TEST(DiskTest, DeleteFreesPages) {
+  Disk disk;
+  FileId f = disk.CreateFile("t");
+  Page p;
+  TEMPO_ASSERT_OK(disk.AppendPage(f, p).status());
+  EXPECT_EQ(disk.TotalPages(), 1u);
+  TEMPO_ASSERT_OK(disk.DeleteFile(f));
+  EXPECT_EQ(disk.TotalPages(), 0u);
+  EXPECT_FALSE(disk.Exists(f));
+}
+
+TEST(DiskTest, TruncateKeepsFile) {
+  Disk disk;
+  FileId f = disk.CreateFile("t");
+  Page p;
+  TEMPO_ASSERT_OK(disk.AppendPage(f, p).status());
+  TEMPO_ASSERT_OK(disk.Truncate(f));
+  EXPECT_TRUE(disk.Exists(f));
+  EXPECT_EQ(disk.FileSizePages(f), 0u);
+}
+
+TEST(DiskTest, ChargedFlagControlsAccounting) {
+  Disk disk;
+  FileId f = disk.CreateFile("t");
+  TEMPO_ASSERT_OK(disk.SetCharged(f, false));
+  Page p;
+  TEMPO_ASSERT_OK(disk.AppendPage(f, p).status());
+  Page back;
+  TEMPO_ASSERT_OK(disk.ReadPage(f, 0, &back));
+  EXPECT_EQ(disk.accountant().stats().total_ops(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// BufferManager
+// ---------------------------------------------------------------------
+
+class BufferManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    file_ = disk_.CreateFile("buf");
+    for (int i = 0; i < 8; ++i) {
+      Page p;
+      p.AddRecord("page" + std::to_string(i));
+      auto st = disk_.AppendPage(file_, p);
+      TEMPO_ASSERT_OK(st.status());
+    }
+  }
+
+  Disk disk_;
+  FileId file_;
+};
+
+TEST_F(BufferManagerTest, PinReadsThrough) {
+  BufferManager buf(&disk_, 4);
+  TEMPO_ASSERT_OK_AND_ASSIGN(Page * p, buf.Pin(file_, 2));
+  EXPECT_EQ(p->GetRecord(0), "page2");
+  TEMPO_ASSERT_OK(buf.Unpin(file_, 2, false));
+}
+
+TEST_F(BufferManagerTest, HitAvoidsDiskRead) {
+  BufferManager buf(&disk_, 4);
+  TEMPO_ASSERT_OK(buf.Pin(file_, 1).status());
+  TEMPO_ASSERT_OK(buf.Unpin(file_, 1, false));
+  uint64_t reads_before = disk_.accountant().stats().random_reads +
+                          disk_.accountant().stats().sequential_reads;
+  TEMPO_ASSERT_OK(buf.Pin(file_, 1).status());
+  TEMPO_ASSERT_OK(buf.Unpin(file_, 1, false));
+  uint64_t reads_after = disk_.accountant().stats().random_reads +
+                         disk_.accountant().stats().sequential_reads;
+  EXPECT_EQ(reads_before, reads_after);
+  EXPECT_EQ(buf.hits(), 1u);
+  EXPECT_EQ(buf.misses(), 1u);
+}
+
+TEST_F(BufferManagerTest, EvictsLruUnpinned) {
+  BufferManager buf(&disk_, 2);
+  TEMPO_ASSERT_OK(buf.Pin(file_, 0).status());
+  TEMPO_ASSERT_OK(buf.Unpin(file_, 0, false));
+  TEMPO_ASSERT_OK(buf.Pin(file_, 1).status());
+  TEMPO_ASSERT_OK(buf.Unpin(file_, 1, false));
+  TEMPO_ASSERT_OK(buf.Pin(file_, 2).status());  // evicts page 0
+  TEMPO_ASSERT_OK(buf.Unpin(file_, 2, false));
+  EXPECT_EQ(buf.num_cached(), 2u);
+}
+
+TEST_F(BufferManagerTest, AllPinnedExhausts) {
+  BufferManager buf(&disk_, 2);
+  TEMPO_ASSERT_OK(buf.Pin(file_, 0).status());
+  TEMPO_ASSERT_OK(buf.Pin(file_, 1).status());
+  auto third = buf.Pin(file_, 2);
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(BufferManagerTest, DirtyWriteBackOnEviction) {
+  BufferManager buf(&disk_, 1);
+  TEMPO_ASSERT_OK_AND_ASSIGN(Page * p, buf.Pin(file_, 0));
+  p->Reset();
+  p->AddRecord("modified");
+  TEMPO_ASSERT_OK(buf.Unpin(file_, 0, true));
+  // Force eviction.
+  TEMPO_ASSERT_OK(buf.Pin(file_, 1).status());
+  TEMPO_ASSERT_OK(buf.Unpin(file_, 1, false));
+  Page back;
+  TEMPO_ASSERT_OK(disk_.ReadPage(file_, 0, &back));
+  EXPECT_EQ(back.GetRecord(0), "modified");
+}
+
+TEST_F(BufferManagerTest, FlushAllWritesDirty) {
+  BufferManager buf(&disk_, 4);
+  TEMPO_ASSERT_OK_AND_ASSIGN(Page * p, buf.Pin(file_, 3));
+  p->Reset();
+  p->AddRecord("dirty3");
+  TEMPO_ASSERT_OK(buf.Unpin(file_, 3, true));
+  TEMPO_ASSERT_OK(buf.FlushAll());
+  Page back;
+  TEMPO_ASSERT_OK(disk_.ReadPage(file_, 3, &back));
+  EXPECT_EQ(back.GetRecord(0), "dirty3");
+}
+
+TEST_F(BufferManagerTest, UnpinErrors) {
+  BufferManager buf(&disk_, 2);
+  EXPECT_EQ(buf.Unpin(file_, 0, false).code(),
+            StatusCode::kFailedPrecondition);
+  TEMPO_ASSERT_OK(buf.Pin(file_, 0).status());
+  TEMPO_ASSERT_OK(buf.Unpin(file_, 0, false));
+  EXPECT_EQ(buf.Unpin(file_, 0, false).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BufferManagerTest, NewPageAppendsAndPins) {
+  BufferManager buf(&disk_, 2);
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto pair, buf.NewPage(file_));
+  EXPECT_EQ(pair.second, 8u);
+  pair.first->AddRecord("fresh");
+  TEMPO_ASSERT_OK(buf.Unpin(file_, pair.second, true));
+  TEMPO_ASSERT_OK(buf.FlushAll());
+  Page back;
+  TEMPO_ASSERT_OK(disk_.ReadPage(file_, 8, &back));
+  EXPECT_EQ(back.GetRecord(0), "fresh");
+}
+
+TEST_F(BufferManagerTest, FlushAndEvictFile) {
+  BufferManager buf(&disk_, 4);
+  TEMPO_ASSERT_OK(buf.Pin(file_, 0).status());
+  TEMPO_ASSERT_OK(buf.Unpin(file_, 0, true));
+  TEMPO_ASSERT_OK(buf.FlushAndEvictFile(file_));
+  EXPECT_EQ(buf.num_cached(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// StoredRelation
+// ---------------------------------------------------------------------
+
+TEST(StoredRelationTest, AppendScanRoundTrip) {
+  Disk disk;
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 100; ++i) tuples.push_back(T(i, "n" + std::to_string(i), i, i + 1));
+  auto rel = MakeRelation(&disk, TestSchema(), tuples, "r");
+  EXPECT_EQ(rel->num_tuples(), 100u);
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> back, rel->ReadAll());
+  EXPECT_EQ(back, tuples);
+}
+
+TEST(StoredRelationTest, MultiPagePagination) {
+  Disk disk;
+  // ~40-byte records: well over one page of them.
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 1000; ++i) tuples.push_back(T(i, "padpadpad", 0, 1));
+  auto rel = MakeRelation(&disk, TestSchema(), tuples, "r");
+  EXPECT_GT(rel->num_pages(), 1u);
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> back, rel->ReadAll());
+  EXPECT_EQ(back.size(), tuples.size());
+}
+
+TEST(StoredRelationTest, DirectoryLocatesTuples) {
+  Disk disk;
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 500; ++i) tuples.push_back(T(i, "some-name", 0, 1));
+  auto rel = MakeRelation(&disk, TestSchema(), tuples, "r");
+  // Every tuple is found at its ordinal via random access.
+  for (uint64_t idx : {uint64_t{0}, uint64_t{1}, uint64_t{250}, uint64_t{499}}) {
+    TEMPO_ASSERT_OK_AND_ASSIGN(Tuple t, rel->ReadTupleRandom(idx));
+    EXPECT_EQ(t.value(0).AsInt64(), static_cast<int64_t>(idx));
+  }
+  // Directory is consistent.
+  uint64_t total = 0;
+  for (uint32_t p = 0; p < rel->num_pages(); ++p) total += rel->TuplesOnPage(p);
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(StoredRelationTest, RandomReadChargesOneRead) {
+  Disk disk;
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 500; ++i) tuples.push_back(T(i, "some-name", 0, 1));
+  auto rel = MakeRelation(&disk, TestSchema(), tuples, "r");
+  disk.accountant().Reset();
+  TEMPO_ASSERT_OK(rel->ReadTupleRandom(400).status());
+  EXPECT_EQ(disk.accountant().stats().total_ops(), 1u);
+  EXPECT_EQ(disk.accountant().stats().random_reads, 1u);
+}
+
+TEST(StoredRelationTest, SequentialScanCostsOneRandomRestSequential) {
+  Disk disk;
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 2000; ++i) tuples.push_back(T(i, "some-name", 0, 1));
+  auto rel = MakeRelation(&disk, TestSchema(), tuples, "r");
+  disk.accountant().Reset();
+  TEMPO_ASSERT_OK(rel->ReadAll().status());
+  const IoStats& s = disk.accountant().stats();
+  EXPECT_EQ(s.random_reads, 1u);
+  EXPECT_EQ(s.sequential_reads, rel->num_pages() - 1);
+}
+
+TEST(StoredRelationTest, ReadTupleRandomOutOfRange) {
+  Disk disk;
+  auto rel = MakeRelation(&disk, TestSchema(), {T(1, "a", 0, 1)}, "r");
+  EXPECT_FALSE(rel->ReadTupleRandom(5).ok());
+}
+
+TEST(StoredRelationTest, UnflushedAppendsVisibleInCount) {
+  Disk disk;
+  StoredRelation rel(&disk, TestSchema(), "r");
+  TEMPO_ASSERT_OK(rel.Append(T(1, "a", 0, 1)));
+  EXPECT_TRUE(rel.HasUnflushedAppends());
+  EXPECT_EQ(rel.num_tuples(), 1u);
+  EXPECT_EQ(rel.num_pages(), 0u);
+  TEMPO_ASSERT_OK(rel.Flush());
+  EXPECT_FALSE(rel.HasUnflushedAppends());
+  EXPECT_EQ(rel.num_pages(), 1u);
+}
+
+TEST(StoredRelationTest, ClearResets) {
+  Disk disk;
+  auto rel = MakeRelation(&disk, TestSchema(), {T(1, "a", 0, 1)}, "r");
+  TEMPO_ASSERT_OK(rel->Clear());
+  EXPECT_EQ(rel->num_tuples(), 0u);
+  EXPECT_EQ(rel->num_pages(), 0u);
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> back, rel->ReadAll());
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(StoredRelationTest, OversizeTupleRejected) {
+  Disk disk;
+  StoredRelation rel(&disk, TestSchema(), "r");
+  Tuple big({Value(int64_t{1}), Value(std::string(kPageSize, 'x'))},
+            Interval(0, 1));
+  EXPECT_EQ(rel.Append(big).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tempo

@@ -1,0 +1,309 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "temporal/allen.h"
+#include "temporal/interval.h"
+#include "temporal/interval_set.h"
+#include "test_util.h"
+
+namespace tempo {
+namespace {
+
+// ---------------------------------------------------------------------
+// Interval basics
+// ---------------------------------------------------------------------
+
+TEST(IntervalTest, Accessors) {
+  Interval iv(3, 7);
+  EXPECT_EQ(iv.start(), 3);
+  EXPECT_EQ(iv.end(), 7);
+  EXPECT_EQ(iv.duration(), 5);
+}
+
+TEST(IntervalTest, SingleChronon) {
+  Interval iv = Interval::At(42);
+  EXPECT_EQ(iv.start(), 42);
+  EXPECT_EQ(iv.end(), 42);
+  EXPECT_EQ(iv.duration(), 1);
+}
+
+TEST(IntervalTest, MakeRejectsInverted) {
+  EXPECT_FALSE(Interval::Make(5, 4).has_value());
+  EXPECT_TRUE(Interval::Make(5, 5).has_value());
+  EXPECT_TRUE(Interval::Make(5, 6).has_value());
+}
+
+TEST(IntervalTest, AllCoversEverything) {
+  Interval all = Interval::All();
+  EXPECT_TRUE(all.Contains(0));
+  EXPECT_TRUE(all.Contains(kChrononMin));
+  EXPECT_TRUE(all.Contains(kChrononMax));
+}
+
+TEST(IntervalTest, DurationSaturates) {
+  EXPECT_EQ(Interval::All().duration(), kChrononMax);
+}
+
+TEST(IntervalTest, ContainsChronon) {
+  Interval iv(10, 20);
+  EXPECT_FALSE(iv.Contains(9));
+  EXPECT_TRUE(iv.Contains(10));
+  EXPECT_TRUE(iv.Contains(15));
+  EXPECT_TRUE(iv.Contains(20));
+  EXPECT_FALSE(iv.Contains(21));
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  Interval iv(10, 20);
+  EXPECT_TRUE(iv.Contains(Interval(10, 20)));
+  EXPECT_TRUE(iv.Contains(Interval(12, 18)));
+  EXPECT_FALSE(iv.Contains(Interval(9, 20)));
+  EXPECT_FALSE(iv.Contains(Interval(10, 21)));
+}
+
+TEST(IntervalTest, OverlapsSharedChronon) {
+  // Closed intervals: touching endpoints DO overlap.
+  EXPECT_TRUE(Interval(1, 5).Overlaps(Interval(5, 9)));
+  EXPECT_FALSE(Interval(1, 5).Overlaps(Interval(6, 9)));
+  EXPECT_TRUE(Interval(1, 9).Overlaps(Interval(4, 5)));
+}
+
+TEST(IntervalTest, IntersectMatchesPaperOverlapDefinition) {
+  // The paper defines overlap(U, V) procedurally as the chronons common to
+  // both. Verify the closed form against that definition over a small
+  // universe.
+  constexpr Chronon kLo = 0, kHi = 8;
+  for (Chronon us = kLo; us <= kHi; ++us) {
+    for (Chronon ue = us; ue <= kHi; ++ue) {
+      for (Chronon vs = kLo; vs <= kHi; ++vs) {
+        for (Chronon ve = vs; ve <= kHi; ++ve) {
+          Interval u(us, ue), v(vs, ve);
+          std::set<Chronon> common;
+          for (Chronon t = us; t <= ue; ++t) {
+            if (vs <= t && t <= ve) common.insert(t);
+          }
+          auto result = Overlap(u, v);
+          if (common.empty()) {
+            EXPECT_FALSE(result.has_value());
+          } else {
+            ASSERT_TRUE(result.has_value());
+            EXPECT_EQ(result->start(), *common.begin());
+            EXPECT_EQ(result->end(), *common.rbegin());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(IntervalTest, IntersectCommutes) {
+  Interval a(0, 10), b(5, 20);
+  EXPECT_EQ(a.Intersect(b), b.Intersect(a));
+}
+
+TEST(IntervalTest, SpanCoversBoth) {
+  Interval a(0, 3), b(10, 12);
+  Interval s = a.Span(b);
+  EXPECT_EQ(s, Interval(0, 12));
+  EXPECT_TRUE(s.Contains(a));
+  EXPECT_TRUE(s.Contains(b));
+}
+
+TEST(IntervalTest, MeetsIsAdjacency) {
+  EXPECT_TRUE(Interval(1, 4).Meets(Interval(5, 9)));
+  EXPECT_FALSE(Interval(1, 4).Meets(Interval(6, 9)));
+  EXPECT_FALSE(Interval(1, 4).Meets(Interval(4, 9)));
+  // No wraparound at the top of the line.
+  EXPECT_FALSE(Interval(0, kChrononMax).Meets(Interval(0, 1)));
+}
+
+TEST(IntervalTest, ToStringFormatsInfinities) {
+  EXPECT_EQ(Interval(1, 2).ToString(), "[1, 2]");
+  EXPECT_EQ(Interval::All().ToString(), "[-inf, +inf]");
+}
+
+TEST(IntervalTest, StartLessOrdering) {
+  IntervalStartLess less;
+  EXPECT_TRUE(less(Interval(1, 5), Interval(2, 3)));
+  EXPECT_TRUE(less(Interval(1, 3), Interval(1, 5)));
+  EXPECT_FALSE(less(Interval(1, 5), Interval(1, 5)));
+}
+
+// ---------------------------------------------------------------------
+// Allen relations
+// ---------------------------------------------------------------------
+
+TEST(AllenTest, HandPickedCases) {
+  EXPECT_EQ(ClassifyAllen(Interval(0, 1), Interval(3, 4)),
+            AllenRelation::kBefore);
+  EXPECT_EQ(ClassifyAllen(Interval(0, 2), Interval(3, 4)),
+            AllenRelation::kMeets);
+  EXPECT_EQ(ClassifyAllen(Interval(0, 3), Interval(2, 5)),
+            AllenRelation::kOverlaps);
+  EXPECT_EQ(ClassifyAllen(Interval(0, 5), Interval(2, 5)),
+            AllenRelation::kFinishedBy);
+  EXPECT_EQ(ClassifyAllen(Interval(0, 5), Interval(2, 4)),
+            AllenRelation::kContains);
+  EXPECT_EQ(ClassifyAllen(Interval(0, 2), Interval(0, 5)),
+            AllenRelation::kStarts);
+  EXPECT_EQ(ClassifyAllen(Interval(0, 5), Interval(0, 5)),
+            AllenRelation::kEquals);
+  EXPECT_EQ(ClassifyAllen(Interval(0, 5), Interval(0, 2)),
+            AllenRelation::kStartedBy);
+  EXPECT_EQ(ClassifyAllen(Interval(2, 4), Interval(0, 5)),
+            AllenRelation::kDuring);
+  EXPECT_EQ(ClassifyAllen(Interval(2, 5), Interval(0, 5)),
+            AllenRelation::kFinishes);
+  EXPECT_EQ(ClassifyAllen(Interval(2, 5), Interval(0, 3)),
+            AllenRelation::kOverlappedBy);
+  EXPECT_EQ(ClassifyAllen(Interval(3, 4), Interval(0, 2)),
+            AllenRelation::kMetBy);
+  EXPECT_EQ(ClassifyAllen(Interval(3, 4), Interval(0, 1)),
+            AllenRelation::kAfter);
+}
+
+TEST(AllenTest, InversionIsConsistentExhaustively) {
+  constexpr Chronon kHi = 6;
+  for (Chronon as = 0; as <= kHi; ++as) {
+    for (Chronon ae = as; ae <= kHi; ++ae) {
+      for (Chronon bs = 0; bs <= kHi; ++bs) {
+        for (Chronon be = bs; be <= kHi; ++be) {
+          Interval a(as, ae), b(bs, be);
+          AllenRelation fwd = ClassifyAllen(a, b);
+          AllenRelation rev = ClassifyAllen(b, a);
+          EXPECT_EQ(InvertAllen(fwd), rev)
+              << a.ToString() << " vs " << b.ToString();
+          EXPECT_EQ(InvertAllen(InvertAllen(fwd)), fwd);
+        }
+      }
+    }
+  }
+}
+
+TEST(AllenTest, ImpliesOverlapAgreesWithOverlapsExhaustively) {
+  constexpr Chronon kHi = 6;
+  for (Chronon as = 0; as <= kHi; ++as) {
+    for (Chronon ae = as; ae <= kHi; ++ae) {
+      for (Chronon bs = 0; bs <= kHi; ++bs) {
+        for (Chronon be = bs; be <= kHi; ++be) {
+          Interval a(as, ae), b(bs, be);
+          EXPECT_EQ(ImpliesOverlap(ClassifyAllen(a, b)), a.Overlaps(b))
+              << a.ToString() << " vs " << b.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(AllenTest, NamesAreUniqueAndNonNull) {
+  std::set<std::string> names;
+  for (int i = 0; i <= static_cast<int>(AllenRelation::kAfter); ++i) {
+    const char* name = AllenRelationName(static_cast<AllenRelation>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(names.size(), 13u);
+}
+
+// ---------------------------------------------------------------------
+// IntervalSet
+// ---------------------------------------------------------------------
+
+TEST(IntervalSetTest, NormalizesOverlappingAndAdjacent) {
+  IntervalSet set({Interval(5, 8), Interval(0, 3), Interval(4, 4),
+                   Interval(20, 25)});
+  // [0,3] + [4,4] + [5,8] merge into [0,8].
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.intervals()[0], Interval(0, 8));
+  EXPECT_EQ(set.intervals()[1], Interval(20, 25));
+}
+
+TEST(IntervalSetTest, ContainsChronon) {
+  IntervalSet set({Interval(0, 3), Interval(10, 12)});
+  EXPECT_TRUE(set.Contains(0));
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_FALSE(set.Contains(4));
+  EXPECT_TRUE(set.Contains(11));
+  EXPECT_FALSE(set.Contains(13));
+  EXPECT_FALSE(set.Contains(-1));
+}
+
+TEST(IntervalSetTest, TotalDuration) {
+  IntervalSet set({Interval(0, 3), Interval(10, 12)});
+  EXPECT_EQ(set.TotalDuration(), 4 + 3);
+}
+
+TEST(IntervalSetTest, SubtractAllBasic) {
+  IntervalSet holes =
+      SubtractAll(Interval(0, 10), {Interval(2, 3), Interval(7, 8)});
+  ASSERT_EQ(holes.size(), 3u);
+  EXPECT_EQ(holes.intervals()[0], Interval(0, 1));
+  EXPECT_EQ(holes.intervals()[1], Interval(4, 6));
+  EXPECT_EQ(holes.intervals()[2], Interval(9, 10));
+}
+
+TEST(IntervalSetTest, SubtractAllFullyCovered) {
+  IntervalSet holes = SubtractAll(Interval(2, 5), {Interval(0, 10)});
+  EXPECT_TRUE(holes.empty());
+}
+
+TEST(IntervalSetTest, SubtractAllNothingCovered) {
+  IntervalSet holes = SubtractAll(Interval(2, 5), {Interval(8, 10)});
+  ASSERT_EQ(holes.size(), 1u);
+  EXPECT_EQ(holes.intervals()[0], Interval(2, 5));
+}
+
+// Property test: set algebra agrees with a brute-force chronon bitset over
+// a small universe, across many random inputs.
+class IntervalSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalSetPropertyTest, AlgebraMatchesBitsetOracle) {
+  constexpr Chronon kUniverse = 40;
+  Random rng(GetParam());
+  auto random_intervals = [&](size_t count) {
+    std::vector<Interval> ivs;
+    for (size_t i = 0; i < count; ++i) {
+      Chronon s = rng.UniformRange(0, kUniverse - 1);
+      Chronon e = std::min<Chronon>(kUniverse - 1,
+                                    s + rng.UniformRange(0, 10));
+      ivs.push_back(Interval(s, e));
+    }
+    return ivs;
+  };
+  auto to_bits = [&](const IntervalSet& set) {
+    std::vector<bool> bits(kUniverse, false);
+    for (Chronon t = 0; t < kUniverse; ++t) bits[t] = set.Contains(t);
+    return bits;
+  };
+
+  std::vector<Interval> xs = random_intervals(6);
+  std::vector<Interval> ys = random_intervals(6);
+  IntervalSet a(xs), b(ys);
+
+  std::vector<bool> ba = to_bits(a), bb = to_bits(b);
+  std::vector<bool> expect_union(kUniverse), expect_inter(kUniverse),
+      expect_diff(kUniverse);
+  for (Chronon t = 0; t < kUniverse; ++t) {
+    expect_union[t] = ba[t] || bb[t];
+    expect_inter[t] = ba[t] && bb[t];
+    expect_diff[t] = ba[t] && !bb[t];
+  }
+  EXPECT_EQ(to_bits(a.Union(b)), expect_union);
+  EXPECT_EQ(to_bits(a.Intersection(b)), expect_inter);
+  EXPECT_EQ(to_bits(a.Difference(b)), expect_diff);
+
+  // Normalization invariant: intervals sorted, disjoint, non-adjacent.
+  for (const IntervalSet& s : {a, b, a.Union(b), a.Difference(b)}) {
+    for (size_t i = 1; i < s.intervals().size(); ++i) {
+      EXPECT_GT(s.intervals()[i].start(), s.intervals()[i - 1].end() + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetPropertyTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace tempo

@@ -1,0 +1,92 @@
+#ifndef TEMPO_TESTS_TEST_UTIL_H_
+#define TEMPO_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "relation/schema.h"
+#include "relation/tuple.h"
+#include "storage/disk.h"
+#include "storage/stored_relation.h"
+#include "temporal/interval.h"
+
+namespace tempo::testing {
+
+/// Fails the current test if `status_expr` is not OK.
+#define TEMPO_ASSERT_OK(status_expr)                            \
+  do {                                                          \
+    const ::tempo::Status _st = (status_expr);                  \
+    ASSERT_TRUE(_st.ok()) << "status: " << _st.ToString();      \
+  } while (false)
+
+#define TEMPO_EXPECT_OK(status_expr)                            \
+  do {                                                          \
+    const ::tempo::Status _st = (status_expr);                  \
+    EXPECT_TRUE(_st.ok()) << "status: " << _st.ToString();      \
+  } while (false)
+
+/// Unwraps a StatusOr in a test, asserting OK.
+#define TEMPO_ASSERT_OK_AND_ASSIGN(lhs, expr)                   \
+  TEMPO_ASSERT_OK_AND_ASSIGN_IMPL_(                             \
+      TEMPO_TEST_CONCAT_(_test_statusor, __LINE__), lhs, expr)
+#define TEMPO_ASSERT_OK_AND_ASSIGN_IMPL_(var, lhs, expr)        \
+  auto var = (expr);                                            \
+  ASSERT_TRUE(var.ok()) << "status: " << var.status().ToString(); \
+  lhs = std::move(var).value()
+#define TEMPO_TEST_CONCAT_(a, b) TEMPO_TEST_CONCAT_IMPL_(a, b)
+#define TEMPO_TEST_CONCAT_IMPL_(a, b) a##b
+
+/// Simple two-attribute test schema: key:int64, name:string.
+inline Schema TestSchema() {
+  return Schema({{"key", ValueType::kInt64}, {"name", ValueType::kString}});
+}
+
+/// Builds a test tuple of TestSchema().
+inline Tuple T(int64_t key, const std::string& name, Chronon vs, Chronon ve) {
+  return Tuple({Value(key), Value(name)}, Interval(vs, ve));
+}
+
+/// Creates a flushed StoredRelation holding `tuples`.
+inline std::unique_ptr<StoredRelation> MakeRelation(
+    Disk* disk, const Schema& schema, const std::vector<Tuple>& tuples,
+    const std::string& name) {
+  auto rel = std::make_unique<StoredRelation>(disk, schema, name);
+  for (const auto& t : tuples) {
+    auto st = rel->Append(t);
+    if (!st.ok()) ADD_FAILURE() << st.ToString();
+  }
+  auto st = rel->Flush();
+  if (!st.ok()) ADD_FAILURE() << st.ToString();
+  return rel;
+}
+
+/// Generates `n` random tuples of TestSchema(): keys in [0, key_space),
+/// intervals within [0, lifespan), each long-lived with probability
+/// `long_lived_prob` (duration up to lifespan/2), otherwise 1..3 chronons.
+inline std::vector<Tuple> RandomTuples(Random& rng, size_t n,
+                                       int64_t key_space, Chronon lifespan,
+                                       double long_lived_prob) {
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(key_space));
+    Chronon start = rng.UniformRange(0, lifespan - 1);
+    int64_t dur;
+    if (rng.Bernoulli(long_lived_prob)) {
+      dur = rng.UniformRange(lifespan / 4, lifespan / 2);
+    } else {
+      dur = rng.UniformRange(0, 2);
+    }
+    Chronon end = std::min<Chronon>(start + dur, lifespan * 2);
+    out.push_back(T(key, "t" + std::to_string(i), start, end));
+  }
+  return out;
+}
+
+}  // namespace tempo::testing
+
+#endif  // TEMPO_TESTS_TEST_UTIL_H_

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/paper_params.h"
+#include "test_util.h"
+
+namespace tempo {
+namespace {
+
+TEST(WorkloadTest, GeneratesRequestedCardinality) {
+  Disk disk;
+  WorkloadSpec spec;
+  spec.num_tuples = 5000;
+  spec.distinct_keys = 100;
+  spec.seed = 1;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto rel, GenerateRelation(&disk, spec, "r"));
+  EXPECT_EQ(rel->num_tuples(), 5000u);
+  EXPECT_FALSE(rel->HasUnflushedAppends());
+}
+
+TEST(WorkloadTest, TupleBytesMatchSpec) {
+  Disk disk;
+  WorkloadSpec spec;
+  spec.num_tuples = 100;
+  spec.tuple_bytes = paper::kTupleBytes;
+  spec.seed = 2;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto rel, GenerateRelation(&disk, spec, "r"));
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> tuples, rel->ReadAll());
+  for (const Tuple& t : tuples) {
+    EXPECT_EQ(t.SerializedSize(rel->schema()), paper::kTupleBytes);
+  }
+}
+
+TEST(WorkloadTest, PaperScaleGivesThirtyTwoTuplesPerPage) {
+  Disk disk;
+  WorkloadSpec spec;
+  spec.num_tuples = paper::kTuplesPerPage * 10;
+  spec.tuple_bytes = paper::kTupleBytes;
+  spec.seed = 3;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto rel, GenerateRelation(&disk, spec, "r"));
+  EXPECT_EQ(rel->num_pages(), 10u);
+  for (uint32_t p = 0; p < rel->num_pages(); ++p) {
+    EXPECT_EQ(rel->TuplesOnPage(p), paper::kTuplesPerPage);
+  }
+}
+
+TEST(WorkloadTest, OneChrononTuplesWithoutLongLived) {
+  Disk disk;
+  WorkloadSpec spec;
+  spec.num_tuples = 2000;
+  spec.num_long_lived = 0;
+  spec.lifespan = 10000;
+  spec.seed = 4;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto rel, GenerateRelation(&disk, spec, "r"));
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> tuples, rel->ReadAll());
+  for (const Tuple& t : tuples) {
+    EXPECT_EQ(t.interval().duration(), 1);
+    EXPECT_GE(t.interval().start(), 0);
+    EXPECT_LT(t.interval().start(), 10000);
+  }
+}
+
+TEST(WorkloadTest, LongLivedTuplesMatchPaperShape) {
+  Disk disk;
+  WorkloadSpec spec;
+  spec.num_tuples = 2000;
+  spec.num_long_lived = 500;
+  spec.lifespan = 10000;
+  spec.seed = 5;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto rel, GenerateRelation(&disk, spec, "r"));
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> tuples, rel->ReadAll());
+  size_t long_lived = 0;
+  for (const Tuple& t : tuples) {
+    if (t.interval().duration() > 1) {
+      ++long_lived;
+      // Start in the first half, duration exactly lifespan/2 (Section 4.3).
+      EXPECT_GE(t.interval().start(), 0);
+      EXPECT_LT(t.interval().start(), 5000);
+      EXPECT_EQ(t.interval().duration(), 5001);
+    }
+  }
+  EXPECT_EQ(long_lived, 500u);
+}
+
+TEST(WorkloadTest, LongLivedInterleavedThroughFile) {
+  Disk disk;
+  WorkloadSpec spec;
+  spec.num_tuples = 3200;
+  spec.num_long_lived = 320;
+  spec.lifespan = 10000;
+  spec.seed = 6;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto rel, GenerateRelation(&disk, spec, "r"));
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> tuples, rel->ReadAll());
+  // Every 10% slice of the file should hold roughly 10% of the long-lived
+  // tuples (the generator interleaves them, it does not front-load).
+  for (int slice = 0; slice < 10; ++slice) {
+    size_t count = 0;
+    for (size_t i = slice * 320; i < (slice + 1) * 320u; ++i) {
+      if (tuples[i].interval().duration() > 1) ++count;
+    }
+    EXPECT_GE(count, 20u) << "slice " << slice;
+    EXPECT_LE(count, 44u) << "slice " << slice;
+  }
+}
+
+TEST(WorkloadTest, KeysWithinDomain) {
+  Disk disk;
+  WorkloadSpec spec;
+  spec.num_tuples = 1000;
+  spec.distinct_keys = 7;
+  spec.seed = 7;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto rel, GenerateRelation(&disk, spec, "r"));
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> tuples, rel->ReadAll());
+  for (const Tuple& t : tuples) {
+    EXPECT_GE(t.value(0).AsInt64(), 0);
+    EXPECT_LT(t.value(0).AsInt64(), 7);
+  }
+}
+
+TEST(WorkloadTest, ZipfSkewsKeys) {
+  Disk disk;
+  WorkloadSpec spec;
+  spec.num_tuples = 20000;
+  spec.distinct_keys = 50;
+  spec.zipf_theta = 1.0;
+  spec.seed = 8;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto rel, GenerateRelation(&disk, spec, "r"));
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> tuples, rel->ReadAll());
+  std::vector<int> counts(50, 0);
+  for (const Tuple& t : tuples) ++counts[t.value(0).AsInt64()];
+  EXPECT_GT(counts[0], counts[49] * 5);
+}
+
+TEST(WorkloadTest, TimeOffsetShiftsEverything) {
+  Disk disk;
+  WorkloadSpec spec;
+  spec.num_tuples = 500;
+  spec.lifespan = 1000;
+  spec.time_offset = 50000;
+  spec.seed = 9;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto rel, GenerateRelation(&disk, spec, "r"));
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> tuples, rel->ReadAll());
+  for (const Tuple& t : tuples) {
+    EXPECT_GE(t.interval().start(), 50000);
+    EXPECT_LT(t.interval().end(), 52001);
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  Disk disk;
+  WorkloadSpec spec;
+  spec.num_tuples = 300;
+  spec.seed = 10;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto a, GenerateRelation(&disk, spec, "a"));
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto b, GenerateRelation(&disk, spec, "b"));
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> ta, a->ReadAll());
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> tb, b->ReadAll());
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(WorkloadTest, RejectsBadSpecs) {
+  Disk disk;
+  WorkloadSpec spec;
+  spec.num_tuples = 10;
+  spec.num_long_lived = 11;
+  EXPECT_FALSE(GenerateRelation(&disk, spec, "r").ok());
+  spec.num_long_lived = 0;
+  spec.tuple_bytes = 5;
+  EXPECT_FALSE(GenerateRelation(&disk, spec, "r").ok());
+  spec.tuple_bytes = 64;
+  spec.lifespan = 1;
+  EXPECT_FALSE(GenerateRelation(&disk, spec, "r").ok());
+}
+
+}  // namespace
+}  // namespace tempo
