@@ -27,6 +27,19 @@ inline uint32_t BenchScale() {
   return v >= 1 ? static_cast<uint32_t>(v) : 1;
 }
 
+/// Worker threads for the executors' CPU-bound phases (the --threads knob,
+/// set via TEMPO_BENCH_THREADS). Defaults to 1, the paper-faithful serial
+/// mode. Any value is result- and IoStats-neutral — threading only shifts
+/// wall-clock — so every figure bench may be run at any thread count
+/// without perturbing the reproduced numbers. bench/micro_parallel is the
+/// wall-clock scaling study.
+inline uint32_t BenchThreads() {
+  const char* env = std::getenv("TEMPO_BENCH_THREADS");
+  if (env == nullptr) return 1;
+  long v = std::strtol(env, nullptr, 10);
+  return v >= 1 ? static_cast<uint32_t>(v) : 1;
+}
+
 /// The paper's workload (Sections 4.2-4.4) scaled by `scale`:
 /// 262,144 128-byte tuples over a 1,000,000-chronon lifespan, ~10 tuples
 /// per join-attribute value, `long_lived` of them spanning half the
@@ -84,6 +97,7 @@ inline StatusOr<JoinRunStats> RunJoin(Algo algo, StoredRelation* r,
       VtJoinOptions options;
       options.buffer_pages = buffer_pages;
       options.cost_model = model;
+      options.parallel.num_threads = BenchThreads();
       stats = SortMergeVtJoin(r, s, &out, options);
       break;
     }
@@ -92,6 +106,7 @@ inline StatusOr<JoinRunStats> RunJoin(Algo algo, StoredRelation* r,
       options.buffer_pages = buffer_pages;
       options.cost_model = model;
       options.seed = seed;
+      options.parallel.num_threads = BenchThreads();
       stats = PartitionVtJoin(r, s, &out, options);
       break;
     }

@@ -1,6 +1,20 @@
 #include "core/grace_partitioner.h"
 
+#include <algorithm>
+
 namespace tempo {
+
+namespace {
+
+/// One morsel of decoded-and-routed input: tuples in page order plus the
+/// partition range [first, last] each tuple lands in. Computed on workers;
+/// consumed (appended) by the coordinator in morsel order.
+struct RoutedMorsel {
+  std::vector<Tuple> tuples;
+  std::vector<std::pair<uint32_t, uint32_t>> dests;
+};
+
+}  // namespace
 
 void PartitionedRelation::Drop() {
   for (auto& p : parts) {
@@ -13,7 +27,10 @@ StatusOr<PartitionedRelation> GracePartition(StoredRelation* input,
                                              const PartitionSpec& spec,
                                              uint32_t buffer_pages,
                                              PlacementPolicy policy,
-                                             const std::string& name_prefix) {
+                                             const std::string& name_prefix,
+                                             const ParallelOptions& parallel,
+                                             ThreadPool* pool,
+                                             MorselStats* morsel_stats) {
   const size_t n = spec.num_partitions();
   if (buffer_pages < n + 1) {
     return Status::InvalidArgument(
@@ -33,29 +50,88 @@ StatusOr<PartitionedRelation> GracePartition(StoredRelation* input,
         name_prefix + ".part" + std::to_string(i)));
   }
 
-  // One input page at a time; each StoredRelation buffers one output page
-  // per partition and flushes it as it fills — the paper's "when the pages
-  // for a given partition become filled they are flushed to disk".
+  auto append_routed = [&](const Tuple& t, uint32_t first,
+                           uint32_t last) -> Status {
+    for (uint32_t idx = first; idx <= last; ++idx) {
+      TEMPO_RETURN_IF_ERROR(result.parts[idx]->Append(t));
+      ++result.tuples_written;
+    }
+    return Status::OK();
+  };
+
   const uint32_t pages = input->num_pages();
-  std::vector<Tuple> decoded;
-  for (uint32_t p = 0; p < pages; ++p) {
-    Page page;
-    TEMPO_RETURN_IF_ERROR(input->ReadPage(p, &page));
-    decoded.clear();
-    TEMPO_RETURN_IF_ERROR(
-        StoredRelation::DecodePage(input->schema(), page, &decoded));
-    for (const Tuple& t : decoded) {
-      if (policy == PlacementPolicy::kLastOverlap) {
-        size_t idx = spec.LastOverlapping(t.interval());
-        TEMPO_RETURN_IF_ERROR(result.parts[idx]->Append(t));
-        ++result.tuples_written;
-      } else {
-        size_t first = spec.FirstOverlapping(t.interval());
-        size_t last = spec.LastOverlapping(t.interval());
-        for (size_t idx = first; idx <= last; ++idx) {
-          TEMPO_RETURN_IF_ERROR(result.parts[idx]->Append(t));
-          ++result.tuples_written;
+
+  if (parallel.enabled() && pool != nullptr) {
+    // Morsel-parallel: the coordinator reads a wave of pages in scan order,
+    // workers decode each morsel and compute destinations, then the
+    // coordinator replays the appends in page order.
+    const size_t morsel_pages = std::max<uint32_t>(1, parallel.morsel_pages);
+    const size_t wave_pages =
+        morsel_pages * std::max<uint32_t>(1, 4 * parallel.num_threads);
+    std::vector<Page> wave;
+    std::vector<RoutedMorsel> routed;
+    for (uint32_t wave_start = 0; wave_start < pages;
+         wave_start += static_cast<uint32_t>(wave_pages)) {
+      const uint32_t wave_end = std::min<uint32_t>(
+          pages, wave_start + static_cast<uint32_t>(wave_pages));
+      wave.resize(wave_end - wave_start);
+      for (uint32_t p = wave_start; p < wave_end; ++p) {
+        TEMPO_RETURN_IF_ERROR(input->ReadPage(p, &wave[p - wave_start]));
+      }
+      const size_t num_morsels =
+          (wave.size() + morsel_pages - 1) / morsel_pages;
+      routed.assign(num_morsels, RoutedMorsel{});
+      TEMPO_RETURN_IF_ERROR(ParallelFor(
+          pool, wave.size(), morsel_pages,
+          [&](size_t m, size_t begin, size_t end) -> Status {
+            RoutedMorsel& out = routed[m];
+            for (size_t i = begin; i < end; ++i) {
+              TEMPO_ASSIGN_OR_RETURN(
+                  size_t added, StoredRelation::DecodePageAppend(
+                                    input->schema(), wave[i], &out.tuples));
+              (void)added;
+            }
+            out.dests.reserve(out.tuples.size());
+            for (const Tuple& t : out.tuples) {
+              uint32_t last = static_cast<uint32_t>(
+                  spec.LastOverlapping(t.interval()));
+              uint32_t first =
+                  policy == PlacementPolicy::kLastOverlap
+                      ? last
+                      : static_cast<uint32_t>(
+                            spec.FirstOverlapping(t.interval()));
+              out.dests.emplace_back(first, last);
+            }
+            return Status::OK();
+          },
+          morsel_stats));
+      for (const RoutedMorsel& m : routed) {
+        for (size_t i = 0; i < m.tuples.size(); ++i) {
+          TEMPO_RETURN_IF_ERROR(
+              append_routed(m.tuples[i], m.dests[i].first, m.dests[i].second));
         }
+      }
+    }
+  } else {
+    // One input page at a time; each StoredRelation buffers one output page
+    // per partition and flushes it as it fills — the paper's "when the
+    // pages for a given partition become filled they are flushed to disk".
+    std::vector<Tuple> decoded;
+    for (uint32_t p = 0; p < pages; ++p) {
+      Page page;
+      TEMPO_RETURN_IF_ERROR(input->ReadPage(p, &page));
+      decoded.clear();
+      TEMPO_RETURN_IF_ERROR(
+          StoredRelation::DecodePageAppend(input->schema(), page, &decoded)
+              .status());
+      for (const Tuple& t : decoded) {
+        uint32_t last =
+            static_cast<uint32_t>(spec.LastOverlapping(t.interval()));
+        uint32_t first =
+            policy == PlacementPolicy::kLastOverlap
+                ? last
+                : static_cast<uint32_t>(spec.FirstOverlapping(t.interval()));
+        TEMPO_RETURN_IF_ERROR(append_routed(t, first, last));
       }
     }
   }

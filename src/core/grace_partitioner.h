@@ -7,6 +7,7 @@
 
 #include "common/statusor.h"
 #include "core/partition_spec.h"
+#include "parallel/parallel_for.h"
 #include "storage/stored_relation.h"
 
 namespace tempo {
@@ -48,11 +49,23 @@ struct PartitionedRelation {
 /// Requires one output buffer page per partition within `buffer_pages`
 /// ("We assume that the number of partitions is small, and therefore, that
 /// sufficient main memory is available to perform the partitioning").
+///
+/// With `parallel.enabled()` and a pool, input pages are read by the
+/// calling thread in scan order (charged I/O unchanged under the per-file
+/// head model) while morsels of pages are decoded and routed — destination
+/// partitions computed — on the workers; the appends are then replayed in
+/// page order, so partition files are byte-identical to the serial run.
+/// `morsel_stats`, when non-null, accumulates dispatch counters.
 StatusOr<PartitionedRelation> GracePartition(StoredRelation* input,
                                              const PartitionSpec& spec,
                                              uint32_t buffer_pages,
                                              PlacementPolicy policy,
-                                             const std::string& name_prefix);
+                                             const std::string& name_prefix,
+                                             const ParallelOptions& parallel =
+                                                 ParallelOptions{},
+                                             ThreadPool* pool = nullptr,
+                                             MorselStats* morsel_stats =
+                                                 nullptr);
 
 }  // namespace tempo
 

@@ -1,6 +1,9 @@
 #include "core/partition_join.h"
 
 #include <algorithm>
+#include <memory>
+#include <thread>
+#include <utility>
 
 #include "core/tuple_cache.h"
 
@@ -14,13 +17,16 @@ constexpr size_t kSlotOverhead = 4;
 constexpr size_t kPagePayload = kPageSize - 4;
 
 /// The outer partition area: decoded tuples plus byte accounting, with a
-/// probe index over the current contents.
+/// probe index over the current contents. The index tracks a dirty flag so
+/// a partition that neither purged nor added tuples (an empty r_i under
+/// migration) skips the full rebuild.
 class OuterArea {
  public:
   explicit OuterArea(const std::vector<size_t>* key_attrs)
       : index_(&tuples_, key_attrs) {}
 
   void Clear() {
+    if (!tuples_.empty()) dirty_ = true;
     tuples_.clear();
     bytes_ = 0;
   }
@@ -33,12 +39,14 @@ class OuterArea {
         ++kept;
       }
     }
+    if (kept != tuples_.size()) dirty_ = true;
     tuples_.resize(kept);
   }
 
   void Add(Tuple t, const Schema& schema) {
     bytes_ += t.SerializedSize(schema) + kSlotOverhead;
     tuples_.push_back(std::move(t));
+    dirty_ = true;
   }
 
   void RecomputeBytes(const Schema& schema) {
@@ -48,7 +56,12 @@ class OuterArea {
     }
   }
 
-  void RebuildIndex() { index_.Rebuild(&tuples_); }
+  /// Rebuilds the probe index if the area changed since the last rebuild.
+  void RebuildIndex() {
+    if (!dirty_) return;
+    index_.Rebuild(&tuples_);
+    dirty_ = false;
+  }
 
   const std::vector<Tuple>& tuples() const { return tuples_; }
   size_t bytes() const { return bytes_; }
@@ -58,6 +71,208 @@ class OuterArea {
   std::vector<Tuple> tuples_;
   size_t bytes_ = 0;
   HashedTupleIndex index_;
+  // The index is built over an empty area at construction, so it starts
+  // clean.
+  bool dirty_ = false;
+};
+
+/// Shared parameters of one probe pass (one chunk of one partition).
+struct ProbeContext {
+  const NaturalJoinLayout* layout = nullptr;
+  const Schema* inner_schema = nullptr;
+  IntervalJoinPredicate predicate = IntervalJoinPredicate::kOverlap;
+  /// De-duplication partition p_i: emit only pairs whose overlap ends in
+  /// it. Null in the single-partition fast path (no duplicates possible).
+  const Interval* dedup_interval = nullptr;
+  /// Previous partition p_{i-1}; probe tuples overlapping it are retained
+  /// into `retain_cache`. Null disables retention.
+  const Interval* retain_interval = nullptr;
+  ResultWriter* writer = nullptr;
+  TupleCache* retain_cache = nullptr;
+};
+
+/// Invokes `fn(x, overlap)` for every pair the probe tuple `y` must emit,
+/// in index iteration order (deterministic for a fixed index build).
+template <typename Fn>
+void ForEachEmission(const ProbeContext& ctx, const HashedTupleIndex& index,
+                     const Tuple& y, Fn&& fn) {
+  index.ForEachMatch(y, ctx.layout->s_join_attrs, [&](const Tuple& x) {
+    auto common = Overlap(x.interval(), y.interval());
+    if (!common) return;
+    if (ctx.dedup_interval != nullptr &&
+        !ctx.dedup_interval->Contains(common->end())) {
+      return;
+    }
+    if (!EvalIntervalPredicate(ctx.predicate, x.interval(), y.interval())) {
+      return;
+    }
+    fn(x, *common);
+  });
+}
+
+/// Streams probe-side input — raw inner pages and pre-decoded tuple-cache
+/// batches — against a read-only hash index.
+///
+/// Serial mode (no pool): each batch is decoded and probed inline, in
+/// arrival order, emitting directly — byte-for-byte the original
+/// tuple-at-a-time loop.
+///
+/// Parallel mode: the coordinator keeps reading pages (all charged I/O
+/// stays on the calling thread, in stream order) while accumulated batches
+/// fan out to pool workers, which decode into a per-worker arena, probe,
+/// and buffer assembled result tuples. After each wave the coordinator
+/// appends the per-batch buffers in batch order, so the output relation
+/// and the next cache generation receive tuples in exactly the serial
+/// order.
+class ProbeStream {
+ public:
+  ProbeStream(const ProbeContext& ctx, const HashedTupleIndex* index,
+              ThreadPool* pool, const ParallelOptions& parallel,
+              MorselStats* stats)
+      : ctx_(ctx), index_(index), pool_(pool), stats_(stats) {
+    if (pool_ != nullptr && parallel.enabled()) {
+      batch_pages_ = std::max<uint32_t>(1, parallel.morsel_pages);
+      wave_limit_ = std::max<size_t>(1, 4 * parallel.num_threads);
+    }
+  }
+
+  ProbeStream(const ProbeStream&) = delete;
+  ProbeStream& operator=(const ProbeStream&) = delete;
+
+  /// Streams one raw inner page (decoded on a worker in parallel mode).
+  Status AddPage(const Page& page, bool allow_retain) {
+    if (wave_limit_ == 0) {
+      arena_.clear();
+      TEMPO_RETURN_IF_ERROR(
+          StoredRelation::DecodePageAppend(*ctx_.inner_schema, page, &arena_)
+              .status());
+      for (const Tuple& y : arena_) {
+        TEMPO_RETURN_IF_ERROR(ProbeOneSerial(y, allow_retain));
+      }
+      return Status::OK();
+    }
+    if (!wave_.empty() && wave_.back().tuples.empty() &&
+        wave_.back().allow_retain == allow_retain &&
+        wave_.back().pages.size() < batch_pages_) {
+      wave_.back().pages.push_back(page);
+      return Status::OK();
+    }
+    Batch b;
+    b.pages.push_back(page);
+    b.allow_retain = allow_retain;
+    return PushBatch(std::move(b));
+  }
+
+  /// Streams pre-decoded probe tuples (the tuple cache's pages).
+  Status AddTuples(std::vector<Tuple> tuples, bool allow_retain) {
+    if (wave_limit_ == 0) {
+      for (const Tuple& y : tuples) {
+        TEMPO_RETURN_IF_ERROR(ProbeOneSerial(y, allow_retain));
+      }
+      return Status::OK();
+    }
+    Batch b;
+    b.tuples = std::move(tuples);
+    b.allow_retain = allow_retain;
+    return PushBatch(std::move(b));
+  }
+
+  /// Drains any pending parallel wave. Must be called before destruction.
+  Status Finish() { return FlushWave(); }
+
+ private:
+  struct Batch {
+    std::vector<Page> pages;    // raw pages, decoded on the worker…
+    std::vector<Tuple> tuples;  // …or tuples decoded by the coordinator
+    bool allow_retain = false;
+  };
+  struct BatchResult {
+    std::vector<Tuple> results;   // assembled output tuples, emission order
+    std::vector<Tuple> retained;  // tuples for the next cache generation
+  };
+
+  bool WantsRetention(const Tuple& y, bool allow_retain) const {
+    return allow_retain && ctx_.retain_cache != nullptr &&
+           ctx_.retain_interval != nullptr &&
+           y.interval().Overlaps(*ctx_.retain_interval);
+  }
+
+  Status ProbeOneSerial(const Tuple& y, bool allow_retain) {
+    Status status = Status::OK();
+    ForEachEmission(ctx_, *index_, y,
+                    [&](const Tuple& x, const Interval& common) {
+                      if (!status.ok()) return;
+                      status = ctx_.writer->Emit(*ctx_.layout, x, y, common);
+                    });
+    TEMPO_RETURN_IF_ERROR(status);
+    if (WantsRetention(y, allow_retain)) {
+      TEMPO_RETURN_IF_ERROR(ctx_.retain_cache->Add(y));
+    }
+    return Status::OK();
+  }
+
+  Status PushBatch(Batch b) {
+    wave_.push_back(std::move(b));
+    if (wave_.size() >= wave_limit_) return FlushWave();
+    return Status::OK();
+  }
+
+  /// Worker side: decode (if needed) and probe one batch into `out`.
+  Status ProbeBatchWorker(const Batch& b, BatchResult* out) const {
+    thread_local std::vector<Tuple> arena;
+    const std::vector<Tuple>* src = &b.tuples;
+    if (!b.pages.empty()) {
+      arena.clear();
+      for (const Page& p : b.pages) {
+        TEMPO_RETURN_IF_ERROR(
+            StoredRelation::DecodePageAppend(*ctx_.inner_schema, p, &arena)
+                .status());
+      }
+      src = &arena;
+    }
+    for (const Tuple& y : *src) {
+      ForEachEmission(ctx_, *index_, y,
+                      [&](const Tuple& x, const Interval& common) {
+                        out->results.push_back(
+                            MakeJoinTuple(*ctx_.layout, x, y, common));
+                      });
+      if (WantsRetention(y, b.allow_retain)) out->retained.push_back(y);
+    }
+    return Status::OK();
+  }
+
+  Status FlushWave() {
+    if (wave_.empty()) return Status::OK();
+    std::vector<BatchResult> results(wave_.size());
+    Status st = ParallelFor(
+        pool_, wave_.size(), 1,
+        [&](size_t m, size_t begin, size_t end) -> Status {
+          (void)end;
+          (void)m;
+          return ProbeBatchWorker(wave_[begin], &results[begin]);
+        },
+        stats_);
+    TEMPO_RETURN_IF_ERROR(st);
+    for (BatchResult& r : results) {
+      for (const Tuple& t : r.results) {
+        TEMPO_RETURN_IF_ERROR(ctx_.writer->EmitAssembled(t));
+      }
+      for (const Tuple& y : r.retained) {
+        TEMPO_RETURN_IF_ERROR(ctx_.retain_cache->Add(y));
+      }
+    }
+    wave_.clear();
+    return Status::OK();
+  }
+
+  ProbeContext ctx_;
+  const HashedTupleIndex* index_;
+  ThreadPool* pool_;
+  MorselStats* stats_;
+  uint32_t batch_pages_ = 1;
+  size_t wave_limit_ = 0;  // 0 = serial
+  std::vector<Batch> wave_;
+  std::vector<Tuple> arena_;  // serial decode arena, reused across pages
 };
 
 }  // namespace
@@ -70,7 +285,10 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
                                       uint32_t buffer_pages,
                                       PlacementPolicy placement,
                                       IntervalJoinPredicate predicate,
-                                      uint32_t cache_memory_pages) {
+                                      uint32_t cache_memory_pages,
+                                      const ParallelOptions& parallel,
+                                      ThreadPool* pool,
+                                      MorselStats* morsel_stats) {
   const size_t n = spec.num_partitions();
   if (pr->parts.size() != n || ps->parts.size() != n) {
     return Status::InvalidArgument(
@@ -79,6 +297,11 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
   if (buffer_pages < 4) {
     return Status::InvalidArgument(
         "joinPartitions needs at least 4 buffer pages");
+  }
+  std::unique_ptr<ThreadPool> local_pool;
+  if (parallel.enabled() && pool == nullptr) {
+    local_pool = std::make_unique<ThreadPool>(parallel.num_threads);
+    pool = local_pool.get();
   }
   Disk* disk = out->disk();
   IoAccountant& acct = disk->accountant();
@@ -105,8 +328,13 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
   uint64_t cache_pages_spilled = 0;
   uint64_t cache_tuples = 0;
   uint64_t overflow_chunks = 0;
+  MorselStats probe_stats;
 
-  // Computation proceeds from r_n |X| s_n down to r_1 |X| s_1.
+  // Computation proceeds from r_n |X| s_n down to r_1 |X| s_1. The
+  // generation loop is inherently sequential — partition i's cache
+  // generation feeds partition i-1 — so parallelism lives *inside* each
+  // partition: page decode and hash probe fan out across the pool while
+  // this coordinator performs all I/O in the paper's order.
   for (size_t ii = n; ii-- > 0;) {
     const Interval& p_i = spec.partition(ii);
     const bool has_prev = ii > 0;
@@ -129,7 +357,8 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
         TEMPO_RETURN_IF_ERROR(part->ReadPage(p, &page));
         decoded.clear();
         TEMPO_RETURN_IF_ERROR(
-            StoredRelation::DecodePage(r_schema, page, &decoded));
+            StoredRelation::DecodePageAppend(r_schema, page, &decoded)
+                .status());
         for (Tuple& t : decoded) outer.Add(std::move(t), r_schema);
       }
     }
@@ -148,24 +377,6 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
                         out->name() + ".gen" + std::to_string(ii),
                         cache_memory_pages);
 
-    auto emit_matches = [&](const HashedTupleIndex& index,
-                            const Tuple& y) -> Status {
-      Status status = Status::OK();
-      index.ForEachMatch(y, layout.s_join_attrs, [&](const Tuple& x) {
-        if (!status.ok()) return;
-        auto common = Overlap(x.interval(), y.interval());
-        if (!common) return;
-        // De-duplication: emit only in the partition containing the end
-        // of the overlap — both tuples are present there exactly once.
-        if (!p_i.Contains(common->end())) return;
-        if (!EvalIntervalPredicate(predicate, x.interval(), y.interval())) {
-          return;
-        }
-        status = writer.Emit(layout, x, y, *common);
-      });
-      return status;
-    };
-
     for (size_t chunk_start = 0; chunk_start < std::max<size_t>(total, 1);
          chunk_start += std::max<size_t>(chunk_tuples, 1)) {
       const bool first_chunk = chunk_start == 0;
@@ -181,27 +392,29 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
         chunk_index.Rebuild(&chunk_vec);
         index = &chunk_index;
       } else {
-        outer.RebuildIndex();
+        outer.RebuildIndex();  // no-op when the area is unchanged
       }
 
+      ProbeContext ctx;
+      ctx.layout = &layout;
+      ctx.inner_schema = &s_schema;
+      ctx.predicate = predicate;
+      ctx.dedup_interval = &p_i;
+      ctx.retain_interval = p_prev;
+      ctx.writer = &writer;
+      ctx.retain_cache = &next_gen;
+      ProbeStream stream(ctx, index, pool, parallel, &probe_stats);
+
       // 2. Join with the in-memory cache page of the consumed generation.
+      const bool retain = first_chunk && has_prev;
       if (migrate) {
-        for (const Tuple& y : cache.memory_tuples()) {
-          TEMPO_RETURN_IF_ERROR(emit_matches(*index, y));
-          if (first_chunk && has_prev && y.interval().Overlaps(*p_prev)) {
-            TEMPO_RETURN_IF_ERROR(next_gen.Add(y));
-          }
-        }
+        TEMPO_RETURN_IF_ERROR(
+            stream.AddTuples(cache.memory_tuples(), retain));
         // 3. Join with each spilled page of the consumed generation.
         for (uint32_t c = 0; c < cache.spilled_pages(); ++c) {
           TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> cached,
                                  cache.ReadSpilledPage(c));
-          for (const Tuple& y : cached) {
-            TEMPO_RETURN_IF_ERROR(emit_matches(*index, y));
-            if (first_chunk && has_prev && y.interval().Overlaps(*p_prev)) {
-              TEMPO_RETURN_IF_ERROR(next_gen.Add(y));
-            }
-          }
+          TEMPO_RETURN_IF_ERROR(stream.AddTuples(std::move(cached), retain));
         }
       }
 
@@ -209,22 +422,13 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
       {
         StoredRelation* part = ps->parts[ii].get();
         const uint32_t pages = part->num_pages();
-        std::vector<Tuple> decoded;
         for (uint32_t p = 0; p < pages; ++p) {
           Page page;
           TEMPO_RETURN_IF_ERROR(part->ReadPage(p, &page));
-          decoded.clear();
-          TEMPO_RETURN_IF_ERROR(
-              StoredRelation::DecodePage(s_schema, page, &decoded));
-          for (const Tuple& y : decoded) {
-            TEMPO_RETURN_IF_ERROR(emit_matches(*index, y));
-            if (migrate && first_chunk && has_prev &&
-                y.interval().Overlaps(*p_prev)) {
-              TEMPO_RETURN_IF_ERROR(next_gen.Add(y));
-            }
-          }
+          TEMPO_RETURN_IF_ERROR(stream.AddPage(page, migrate && retain));
         }
       }
+      TEMPO_RETURN_IF_ERROR(stream.Finish());
       if (total == 0) break;
     }
 
@@ -243,6 +447,13 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
       static_cast<double>(cache_pages_spilled);
   stats.details["cache_tuples"] = static_cast<double>(cache_tuples);
   stats.details["overflow_chunks"] = static_cast<double>(overflow_chunks);
+  if (parallel.enabled()) {
+    stats.details["morsels_dispatched"] =
+        static_cast<double>(probe_stats.morsels_dispatched);
+    stats.details["parallel_efficiency"] =
+        probe_stats.Efficiency(parallel.num_threads);
+  }
+  if (morsel_stats != nullptr) morsel_stats->Merge(probe_stats);
   return stats;
 }
 
@@ -258,6 +469,12 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
   IoAccountant& acct = disk->accountant();
   IoStats before = acct.stats();
   Random rng(options.seed);
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options.parallel.enabled()) {
+    pool = std::make_unique<ThreadPool>(options.parallel.num_threads);
+  }
+  MorselStats total_morsels;
 
   // Phase 1: determine the partitioning intervals (samples are charged).
   PartitionPlanOptions plan_options;
@@ -281,46 +498,60 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
       TEMPO_RETURN_IF_ERROR(r->ReadPage(p, &page));
       decoded.clear();
       TEMPO_RETURN_IF_ERROR(
-          StoredRelation::DecodePage(r->schema(), page, &decoded));
+          StoredRelation::DecodePageAppend(r->schema(), page, &decoded)
+              .status());
       for (Tuple& t : decoded) outer.Add(std::move(t), r->schema());
     }
     outer.RebuildIndex();
     ResultWriter writer(out);
+
+    ProbeContext ctx;
+    ctx.layout = &layout;
+    ctx.inner_schema = &s->schema();
+    ctx.predicate = options.predicate;
+    ctx.writer = &writer;
+    ProbeStream stream(ctx, &outer.index(), pool.get(), options.parallel,
+                       &total_morsels);
     const uint32_t s_pages = s->num_pages();
     for (uint32_t p = 0; p < s_pages; ++p) {
       Page page;
       TEMPO_RETURN_IF_ERROR(s->ReadPage(p, &page));
-      decoded.clear();
-      TEMPO_RETURN_IF_ERROR(
-          StoredRelation::DecodePage(s->schema(), page, &decoded));
-      for (const Tuple& y : decoded) {
-        Status status = Status::OK();
-        outer.index().ForEachMatch(y, layout.s_join_attrs,
-                                   [&](const Tuple& x) {
-          if (!status.ok()) return;
-          auto common = Overlap(x.interval(), y.interval());
-          if (!common) return;
-          if (!EvalIntervalPredicate(options.predicate, x.interval(),
-                                     y.interval())) {
-            return;
-          }
-          status = writer.Emit(layout, x, y, *common);
-        });
-        TEMPO_RETURN_IF_ERROR(status);
-      }
+      TEMPO_RETURN_IF_ERROR(stream.AddPage(page, /*allow_retain=*/false));
     }
+    TEMPO_RETURN_IF_ERROR(stream.Finish());
     TEMPO_RETURN_IF_ERROR(writer.Finish());
     stats.output_tuples = writer.count();
   } else {
-    // Phase 2: Grace-partition both inputs with the same intervals.
-    TEMPO_ASSIGN_OR_RETURN(
-        PartitionedRelation pr,
-        GracePartition(r, plan.spec, options.buffer_pages, options.placement,
-                       r->name()));
-    TEMPO_ASSIGN_OR_RETURN(
-        PartitionedRelation ps,
-        GracePartition(s, plan.spec, options.buffer_pages, options.placement,
-                       s->name()));
+    // Phase 2: Grace-partition both inputs with the same intervals. With a
+    // pool, r and s are partitioned concurrently — each input has its own
+    // coordinating thread reading its pages in scan order and its own
+    // output files, so charged per-file I/O is unchanged — and each
+    // coordinator fans decode/route morsels across the shared workers.
+    StatusOr<PartitionedRelation> pr_or = Status::Internal("unset");
+    StatusOr<PartitionedRelation> ps_or = Status::Internal("unset");
+    MorselStats r_morsels, s_morsels;
+    if (pool != nullptr) {
+      std::thread r_thread([&] {
+        pr_or = GracePartition(r, plan.spec, options.buffer_pages,
+                               options.placement, r->name(), options.parallel,
+                               pool.get(), &r_morsels);
+      });
+      ps_or = GracePartition(s, plan.spec, options.buffer_pages,
+                             options.placement, s->name(), options.parallel,
+                             pool.get(), &s_morsels);
+      r_thread.join();
+    } else {
+      pr_or = GracePartition(r, plan.spec, options.buffer_pages,
+                             options.placement, r->name());
+      ps_or = GracePartition(s, plan.spec, options.buffer_pages,
+                             options.placement, s->name());
+    }
+    TEMPO_RETURN_IF_ERROR(pr_or.status());
+    TEMPO_RETURN_IF_ERROR(ps_or.status());
+    PartitionedRelation pr = std::move(pr_or).value();
+    PartitionedRelation ps = std::move(ps_or).value();
+    total_morsels.Merge(r_morsels);
+    total_morsels.Merge(s_morsels);
     stats.details["partition_pages_written"] =
         static_cast<double>(pr.TotalPages() + ps.TotalPages());
     stats.details["tuples_written"] =
@@ -331,7 +562,8 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
         JoinRunStats join_stats,
         JoinPartitions(layout, plan.spec, &pr, &ps, out, options.buffer_pages,
                        options.placement, options.predicate,
-                       options.tuple_cache_memory_pages));
+                       options.tuple_cache_memory_pages, options.parallel,
+                       pool.get(), &total_morsels));
     stats.output_tuples = join_stats.output_tuples;
     for (const auto& [k, v] : join_stats.details) stats.details[k] = v;
     pr.Drop();
@@ -346,6 +578,12 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
   stats.details["sampled_by_scan"] = plan.sampled_by_scan ? 1.0 : 0.0;
   stats.details["est_sample_cost"] = plan.est_sample_cost;
   stats.details["est_join_cost"] = plan.est_join_cost;
+  if (options.parallel.enabled()) {
+    stats.details["morsels_dispatched"] =
+        static_cast<double>(total_morsels.morsels_dispatched);
+    stats.details["parallel_efficiency"] =
+        total_morsels.Efficiency(options.parallel.num_threads);
+  }
   return stats;
 }
 

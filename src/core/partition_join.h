@@ -38,11 +38,18 @@ struct PartitionJoinOptions {
   /// Section 5 future-work knob (see bench/ablation_cache_reserve).
   uint32_t tuple_cache_memory_pages = 1;
 
+  /// Threading for the CPU-bound phases (partitioning decode/route, probe).
+  /// num_threads == 1 (the default) is the paper-faithful serial mode; any
+  /// higher setting produces byte-identical output and identical charged
+  /// I/O (see DESIGN.md, "Threading model").
+  ParallelOptions parallel;
+
   VtJoinOptions ToVtJoinOptions() const {
     VtJoinOptions o;
     o.buffer_pages = buffer_pages;
     o.cost_model = cost_model;
     o.seed = seed;
+    o.parallel = parallel;
     return o;
   }
 };
@@ -71,7 +78,16 @@ struct PartitionJoinOptions {
 /// extra chunk: that re-reading is precisely the thrashing cost.
 ///
 /// Detail keys in JoinRunStats: "cache_pages_spilled", "cache_tuples",
-/// "overflow_chunks".
+/// "overflow_chunks"; with `parallel.enabled()` additionally
+/// "morsels_dispatched" and "parallel_efficiency".
+///
+/// With `parallel.enabled()`, probe work inside each partition fans out
+/// over `pool` (or a pool created locally if null): the coordinator still
+/// performs every page read in the paper's order; workers decode and probe
+/// batches, and their buffered results are appended in batch order, so the
+/// output and charged I/O match the serial run exactly. The partition loop
+/// itself stays sequential — generation i's tuple cache feeds generation
+/// i-1.
 StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
                                       const PartitionSpec& spec,
                                       PartitionedRelation* pr,
@@ -81,7 +97,11 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
                                       PlacementPolicy placement,
                                       IntervalJoinPredicate predicate =
                                           IntervalJoinPredicate::kOverlap,
-                                      uint32_t cache_memory_pages = 1);
+                                      uint32_t cache_memory_pages = 1,
+                                      const ParallelOptions& parallel =
+                                          ParallelOptions{},
+                                      ThreadPool* pool = nullptr,
+                                      MorselStats* morsel_stats = nullptr);
 
 /// The paper's contribution, end to end (Figure 2):
 ///

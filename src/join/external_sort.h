@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "parallel/parallel_for.h"
 #include "storage/stored_relation.h"
 
 namespace tempo {
@@ -36,9 +37,23 @@ struct SortedRelation {
 /// Temporary run files live on `input`'s disk and are deleted before
 /// returning; all their I/O is charged. The returned relation's file is
 /// named `output_name`.
+///
+/// With `parallel.enabled()`, run formation overlaps sorting with reading:
+/// the calling thread reads a wave of up to num_threads memory-sized
+/// chunks (input pages still read in scan order) and the pool sorts them
+/// while the coordinator writes finished runs back in chunk order, so run
+/// files and charged I/O are identical to the serial pass. Note the wave
+/// holds up to num_threads chunks of buffer_pages pages at once — parallel
+/// mode deliberately trades memory for CPU overlap. Merge passes stay
+/// serial (the heap is inherently sequential). A local pool is created if
+/// `pool` is null; `morsel_stats` accumulates dispatch counters.
 StatusOr<SortedRelation> ExternalSortByVs(StoredRelation* input,
                                           uint32_t buffer_pages,
-                                          const std::string& output_name);
+                                          const std::string& output_name,
+                                          const ParallelOptions& parallel =
+                                              ParallelOptions{},
+                                          ThreadPool* pool = nullptr,
+                                          MorselStats* morsel_stats = nullptr);
 
 }  // namespace tempo
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "parallel/parallel_for.h"
 #include "relation/schema.h"
 #include "relation/tuple.h"
 #include "storage/io_accountant.h"
@@ -28,6 +29,11 @@ struct VtJoinOptions {
 
   /// Seed for any sampling the executor performs.
   uint64_t seed = 42;
+
+  /// Threading for CPU-bound phases (run formation, decode, probe). The
+  /// default single thread is the paper-faithful serial mode; see
+  /// ParallelOptions.
+  ParallelOptions parallel;
 };
 
 /// Execution report of one join run.
@@ -60,6 +66,14 @@ class ResultWriter {
               const Interval& overlap) {
     ++count_;
     return out_->Append(MakeJoinTuple(layout, x, y, overlap));
+  }
+
+  /// Appends an already-assembled result tuple. The parallel probe builds
+  /// result tuples on workers and the coordinator appends the per-morsel
+  /// buffers in page order, so output bytes match the serial run.
+  Status EmitAssembled(const Tuple& t) {
+    ++count_;
+    return out_->Append(t);
   }
 
   Status Finish() { return out_->Flush(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -237,12 +238,19 @@ StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
   IoStats before = acct.stats();
 
   // --- Phase 1: sort both inputs by Vs. --------------------------------
+  std::unique_ptr<ThreadPool> pool;
+  if (options.parallel.enabled()) {
+    pool = std::make_unique<ThreadPool>(options.parallel.num_threads);
+  }
+  MorselStats sort_morsels;
   TEMPO_ASSIGN_OR_RETURN(
       SortedRelation sr,
-      ExternalSortByVs(r, options.buffer_pages, r->name() + ".sorted"));
+      ExternalSortByVs(r, options.buffer_pages, r->name() + ".sorted",
+                       options.parallel, pool.get(), &sort_morsels));
   TEMPO_ASSIGN_OR_RETURN(
       SortedRelation ss,
-      ExternalSortByVs(s, options.buffer_pages, s->name() + ".sorted"));
+      ExternalSortByVs(s, options.buffer_pages, s->name() + ".sorted",
+                       options.parallel, pool.get(), &sort_morsels));
   IoStats sort_io = acct.stats() - before;
 
   // --- Phase 2: co-sweep in Vs order. ----------------------------------
@@ -352,6 +360,12 @@ StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
   stats.details["backup_page_reads"] = static_cast<double>(backup_reads);
   stats.details["max_active_tuples"] =
       static_cast<double>(active_r.max_live() + active_s.max_live());
+  if (options.parallel.enabled()) {
+    stats.details["morsels_dispatched"] =
+        static_cast<double>(sort_morsels.morsels_dispatched);
+    stats.details["parallel_efficiency"] =
+        sort_morsels.Efficiency(options.parallel.num_threads);
+  }
   return stats;
 }
 

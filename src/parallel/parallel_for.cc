@@ -1,0 +1,62 @@
+#include "parallel/parallel_for.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+namespace tempo {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
+                   const std::function<Status(size_t morsel, size_t begin,
+                                              size_t end)>& fn,
+                   MorselStats* stats) {
+  if (n == 0) return Status::OK();
+  if (morsel_size == 0) morsel_size = 1;
+  const size_t num_morsels = (n + morsel_size - 1) / morsel_size;
+
+  const Clock::time_point wall_start = Clock::now();
+
+  std::mutex mu;  // guards first_error_morsel / first_error / busy
+  size_t first_error_morsel = num_morsels;
+  Status first_error = Status::OK();
+  double busy = 0.0;
+
+  {
+    TaskGroup group(pool);
+    for (size_t m = 0; m < num_morsels; ++m) {
+      const size_t begin = m * morsel_size;
+      const size_t end = std::min(n, begin + morsel_size);
+      group.Run([&, m, begin, end] {
+        const Clock::time_point t0 = Clock::now();
+        Status st = fn(m, begin, end);
+        const double spent = Seconds(t0, Clock::now());
+        std::lock_guard<std::mutex> lock(mu);
+        busy += spent;
+        if (!st.ok() && m < first_error_morsel) {
+          first_error_morsel = m;
+          first_error = std::move(st);
+        }
+      });
+    }
+    group.Wait();
+  }
+
+  if (stats != nullptr) {
+    stats->morsels_dispatched += num_morsels;
+    stats->busy_seconds += busy;
+    stats->wall_seconds += Seconds(wall_start, Clock::now());
+  }
+  return first_error;
+}
+
+}  // namespace tempo

@@ -1,0 +1,74 @@
+#ifndef TEMPO_PARALLEL_PARALLEL_FOR_H_
+#define TEMPO_PARALLEL_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "parallel/thread_pool.h"
+
+namespace tempo {
+
+/// Threading knob for the CPU-bound executor phases. The default of one
+/// thread is the paper-faithful serial mode: identical output bytes,
+/// identical charged I/O, no pool ever created, so every existing figure
+/// and cost statement is unchanged.
+///
+/// With more threads, page decode / hash probe / partition routing / run
+/// sorting fan out to a pool while all disk traffic stays on the
+/// coordinator in the original page order. Results are merged back in
+/// input order, so the output relation is byte-identical to the serial
+/// run, and under the default per-file head model the charged I/O counts
+/// are identical too (see DESIGN.md "Threading model" for the single-head
+/// caveat).
+struct ParallelOptions {
+  /// Worker threads for CPU-bound phases; 1 = serial.
+  uint32_t num_threads = 1;
+
+  /// Pages grouped into one morsel (dispatch unit) in page-granular
+  /// loops. Larger morsels amortize dispatch overhead; smaller morsels
+  /// balance skew.
+  uint32_t morsel_pages = 4;
+
+  bool enabled() const { return num_threads > 1; }
+};
+
+/// Where the parallel wall-clock went: `busy_seconds` sums the time workers
+/// spent inside morsel bodies; `wall_seconds` is the coordinator-observed
+/// span of the parallel regions. Efficiency near 1.0 means the workers were
+/// saturated; near 1/num_threads means the region was serialized.
+struct MorselStats {
+  uint64_t morsels_dispatched = 0;
+  double busy_seconds = 0.0;
+  double wall_seconds = 0.0;
+
+  void Merge(const MorselStats& other) {
+    morsels_dispatched += other.morsels_dispatched;
+    busy_seconds += other.busy_seconds;
+    wall_seconds += other.wall_seconds;
+  }
+
+  double Efficiency(uint32_t num_threads) const {
+    if (num_threads == 0 || wall_seconds <= 0.0) return 1.0;
+    return busy_seconds / (wall_seconds * static_cast<double>(num_threads));
+  }
+};
+
+/// Splits [0, n) into morsels of `morsel_size` indices and runs
+/// `fn(morsel_index, begin, end)` for each. With a pool, morsels run on the
+/// workers and this call blocks until all complete; with a null pool they
+/// run inline in ascending order. Morsel boundaries are identical either
+/// way (morsel m covers [m*morsel_size, min(n, (m+1)*morsel_size))), so a
+/// caller that buffers per-morsel results and merges them by morsel index
+/// gets deterministic, execution-order-independent output.
+///
+/// Returns the error of the lowest-indexed failing morsel, or OK. `stats`,
+/// when non-null, accumulates dispatch counts and busy/wall time.
+Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
+                   const std::function<Status(size_t morsel, size_t begin,
+                                              size_t end)>& fn,
+                   MorselStats* stats = nullptr);
+
+}  // namespace tempo
+
+#endif  // TEMPO_PARALLEL_PARALLEL_FOR_H_

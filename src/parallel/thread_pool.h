@@ -1,0 +1,78 @@
+#ifndef TEMPO_PARALLEL_THREAD_POOL_H_
+#define TEMPO_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tempo {
+
+/// A fixed-size worker pool draining a shared chunk queue.
+///
+/// The executors use it morsel-style: a coordinator thread performs all
+/// page I/O in the paper's prescribed order (so charged I/O counts are
+/// unchanged) and hands CPU-bound work — page decode, hash probe, run
+/// sorting, partition routing — to the pool in batches, merging the
+/// results back in input order. Workers never block on each other, so
+/// tasks must not submit-and-wait on the same pool from within a task
+/// (coordinators submit from outside, or from dedicated std::threads).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(uint32_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Safe to call from any thread.
+  void Submit(std::function<void()> task);
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Tracks a batch of tasks on a pool and blocks until every one finished.
+/// With a null pool, Run() executes inline on the calling thread — the
+/// serial mode all parallel call sites fall back to.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  ~TaskGroup() { Wait(); }
+
+  /// Runs `fn` on the pool (or inline when the pool is null).
+  void Run(std::function<void()> fn);
+
+  /// Blocks until all Run() tasks have completed.
+  void Wait();
+
+ private:
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t pending_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_PARALLEL_THREAD_POOL_H_

@@ -37,6 +37,7 @@ Status BufferManager::EnsureCapacity() {
 }
 
 StatusOr<Page*> BufferManager::Pin(FileId file, uint32_t page_no) {
+  std::lock_guard<std::mutex> lock(mu_);
   Key key{file, page_no};
   auto it = table_.find(key);
   if (it != table_.end()) {
@@ -62,6 +63,7 @@ StatusOr<Page*> BufferManager::Pin(FileId file, uint32_t page_no) {
 }
 
 Status BufferManager::Unpin(FileId file, uint32_t page_no, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   Key key{file, page_no};
   auto it = table_.find(key);
   if (it == table_.end()) {
@@ -82,6 +84,7 @@ Status BufferManager::Unpin(FileId file, uint32_t page_no, bool dirty) {
 }
 
 StatusOr<std::pair<Page*, uint32_t>> BufferManager::NewPage(FileId file) {
+  // Append outside the lock (Disk is itself synchronized); Pin re-locks.
   Page empty;
   TEMPO_ASSIGN_OR_RETURN(uint32_t page_no, disk_->AppendPage(file, empty));
   TEMPO_ASSIGN_OR_RETURN(Page * page, Pin(file, page_no));
@@ -89,6 +92,7 @@ StatusOr<std::pair<Page*, uint32_t>> BufferManager::NewPage(FileId file) {
 }
 
 Status BufferManager::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, frame] : table_) {
     TEMPO_RETURN_IF_ERROR(WriteBack(frame));
   }
@@ -96,6 +100,7 @@ Status BufferManager::FlushAll() {
 }
 
 Status BufferManager::FlushAndEvictFile(FileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = table_.begin(); it != table_.end();) {
     if (it->second.key.file == file) {
       if (it->second.pin_count > 0) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -25,6 +26,11 @@ namespace tempo {
 ///   TEMPO_ASSIGN_OR_RETURN(Page* p, buf.Pin(file, 3));
 ///   ... read/modify *p ...
 ///   buf.Unpin(file, 3, /*dirty=*/true);
+///
+/// Pin/Unpin and the flush operations are internally synchronized, so the
+/// pool may be shared across threads. The returned Page* stays valid while
+/// pinned (frames own their pages by unique_ptr); coordinating concurrent
+/// writers to the *same* pinned page remains the caller's responsibility.
 class BufferManager {
  public:
   /// `capacity_frames` pages of buffer memory.
@@ -55,9 +61,18 @@ class BufferManager {
   Status FlushAndEvictFile(FileId file);
 
   size_t capacity() const { return capacity_; }
-  size_t num_cached() const { return table_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t num_cached() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.size();
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
  private:
   struct Key {
@@ -84,11 +99,13 @@ class BufferManager {
   };
 
   /// Frees one frame slot if at capacity, evicting the LRU unpinned frame.
+  /// Caller must hold mu_.
   Status EnsureCapacity();
   Status WriteBack(Frame& frame);
 
   Disk* disk_;
   size_t capacity_;
+  mutable std::mutex mu_;
   std::unordered_map<Key, Frame, KeyHash> table_;
   std::list<Key> lru_;  // front = most recent
   uint64_t hits_ = 0;

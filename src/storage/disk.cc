@@ -3,6 +3,7 @@
 namespace tempo {
 
 FileId Disk::CreateFile(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
   FileId id = next_id_++;
   File f;
   f.name = std::move(name);
@@ -19,6 +20,7 @@ StatusOr<Disk::File*> Disk::Find(FileId id) {
 }
 
 Status Disk::DeleteFile(FileId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(id);
   if (it == files_.end()) {
     return Status::NotFound("no such file: " + std::to_string(id));
@@ -28,18 +30,21 @@ Status Disk::DeleteFile(FileId id) {
 }
 
 Status Disk::Truncate(FileId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   TEMPO_ASSIGN_OR_RETURN(File * f, Find(id));
   f->pages.clear();
   return Status::OK();
 }
 
 Status Disk::SetCharged(FileId id, bool charged) {
+  std::lock_guard<std::mutex> lock(mu_);
   TEMPO_ASSIGN_OR_RETURN(File * f, Find(id));
   f->charged = charged;
   return Status::OK();
 }
 
 uint32_t Disk::FileSizePages(FileId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(id);
   if (it == files_.end()) return 0;
   return static_cast<uint32_t>(it->second.pages.size());
@@ -47,6 +52,7 @@ uint32_t Disk::FileSizePages(FileId id) const {
 
 const std::string& Disk::FileName(FileId id) const {
   static const std::string kUnknown = "<unknown>";
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(id);
   return it == files_.end() ? kUnknown : it->second.name;
 }
@@ -61,6 +67,7 @@ Status Disk::CheckFault() {
 }
 
 Status Disk::ReadPage(FileId id, uint32_t page_no, Page* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   TEMPO_ASSIGN_OR_RETURN(File * f, Find(id));
   if (page_no >= f->pages.size()) {
     return Status::OutOfRange("read past EOF: page " + std::to_string(page_no) +
@@ -73,6 +80,7 @@ Status Disk::ReadPage(FileId id, uint32_t page_no, Page* out) {
 }
 
 Status Disk::WritePage(FileId id, uint32_t page_no, const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
   TEMPO_ASSIGN_OR_RETURN(File * f, Find(id));
   if (page_no >= f->pages.size()) {
     return Status::OutOfRange("write past EOF: page " +
@@ -85,6 +93,7 @@ Status Disk::WritePage(FileId id, uint32_t page_no, const Page& page) {
 }
 
 StatusOr<uint32_t> Disk::AppendPage(FileId id, const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
   TEMPO_ASSIGN_OR_RETURN(File * f, Find(id));
   TEMPO_RETURN_IF_ERROR(CheckFault());
   uint32_t page_no = static_cast<uint32_t>(f->pages.size());
@@ -94,6 +103,7 @@ StatusOr<uint32_t> Disk::AppendPage(FileId id, const Page& page) {
 }
 
 uint64_t Disk::TotalPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [id, f] : files_) total += f.pages.size();
   return total;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +33,11 @@ using FileId = uint64_t;
 /// file uncharged for all algorithms, following the paper's "the cost of
 /// writing the result relation is omitted since this cost is incurred by
 /// all evaluation algorithms" (Appendix A.2).
+///
+/// All operations are internally synchronized: the parallel executors
+/// issue traffic from a coordinator per input stream and from sort
+/// workers, each touching disjoint files. Page contents are copied in and
+/// out under the lock, so callers never observe torn pages.
 class Disk {
  public:
   Disk() = default;
@@ -51,7 +57,10 @@ class Disk {
   /// Marks whether accesses to this file are charged to the accountant.
   Status SetCharged(FileId id, bool charged);
 
-  bool Exists(FileId id) const { return files_.count(id) != 0; }
+  bool Exists(FileId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(id) != 0;
+  }
 
   /// Number of pages in the file; 0 for unknown ids.
   uint32_t FileSizePages(FileId id) const;
@@ -79,10 +88,14 @@ class Disk {
   /// by the robustness tests to verify that every executor propagates
   /// storage failures as Status instead of crashing or corrupting state.
   void InjectFaultAfter(uint64_t ops) {
+    std::lock_guard<std::mutex> lock(mu_);
     fault_armed_ = true;
     fault_countdown_ = ops;
   }
-  void ClearFault() { fault_armed_ = false; }
+  void ClearFault() {
+    std::lock_guard<std::mutex> lock(mu_);
+    fault_armed_ = false;
+  }
 
  private:
   struct File {
@@ -96,6 +109,7 @@ class Disk {
   /// Consumes one fault-injection tick; error when the fault has fired.
   Status CheckFault();
 
+  mutable std::mutex mu_;
   std::unordered_map<FileId, File> files_;
   FileId next_id_ = 1;
   IoAccountant accountant_;

@@ -29,6 +29,7 @@ void IoAccountant::Advance(uint64_t file_id, uint64_t page_no) {
 void IoAccountant::RecordRead(uint64_t file_id, uint64_t page_no,
                               bool charged) {
   if (!charged) return;
+  std::lock_guard<std::mutex> lock(mu_);
   if (IsSequential(file_id, page_no)) {
     ++stats_.sequential_reads;
   } else {
@@ -40,6 +41,7 @@ void IoAccountant::RecordRead(uint64_t file_id, uint64_t page_no,
 void IoAccountant::RecordWrite(uint64_t file_id, uint64_t page_no,
                                bool charged) {
   if (!charged) return;
+  std::lock_guard<std::mutex> lock(mu_);
   if (IsSequential(file_id, page_no)) {
     ++stats_.sequential_writes;
   } else {

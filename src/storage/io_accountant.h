@@ -2,6 +2,7 @@
 #define TEMPO_STORAGE_IO_ACCOUNTANT_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -86,12 +87,24 @@ enum class HeadModel {
 /// counters. Reading a k-page run of one file costs 1 random + (k-1)
 /// sequential accesses under either model; the models differ only in how
 /// interleaved streams interact (see HeadModel).
+///
+/// Thread-safe: Record*/stats()/Reset may be called concurrently (the
+/// parallel executors issue I/O from a partitioning coordinator per input
+/// and from sort workers). Under the default kPerFile model the totals are
+/// order-independent — each file's accesses keep their per-stream order —
+/// so charged counts are deterministic across thread counts.
 class IoAccountant {
  public:
   IoAccountant() = default;
 
-  HeadModel head_model() const { return head_model_; }
-  void set_head_model(HeadModel m) { head_model_ = m; }
+  HeadModel head_model() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return head_model_;
+  }
+  void set_head_model(HeadModel m) {
+    std::lock_guard<std::mutex> lock(mu_);
+    head_model_ = m;
+  }
 
   /// Records an access. `charged=false` accesses (e.g. the shared result
   /// file excluded from algorithm comparisons) are neither counted nor
@@ -99,9 +112,14 @@ class IoAccountant {
   void RecordRead(uint64_t file_id, uint64_t page_no, bool charged);
   void RecordWrite(uint64_t file_id, uint64_t page_no, bool charged);
 
-  const IoStats& stats() const { return stats_; }
+  /// Snapshot of the counters.
+  IoStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
   void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     stats_ = IoStats{};
     has_position_ = false;
     file_positions_.clear();
@@ -111,6 +129,7 @@ class IoAccountant {
   bool IsSequential(uint64_t file_id, uint64_t page_no) const;
   void Advance(uint64_t file_id, uint64_t page_no);
 
+  mutable std::mutex mu_;
   IoStats stats_;
   HeadModel head_model_ = HeadModel::kPerFile;
   // kSingleHead state.

@@ -70,6 +70,15 @@ Status StoredRelation::DecodePage(const Schema& schema, const Page& page,
   return Status::OK();
 }
 
+StatusOr<size_t> StoredRelation::DecodePageAppend(const Schema& schema,
+                                                  const Page& page,
+                                                  std::vector<Tuple>* arena) {
+  const size_t before = arena->size();
+  arena->reserve(before + page.num_records());
+  TEMPO_RETURN_IF_ERROR(DecodePage(schema, page, arena));
+  return arena->size() - before;
+}
+
 StatusOr<std::vector<Tuple>> StoredRelation::ReadPageTuples(uint32_t page_no) {
   Page page;
   TEMPO_RETURN_IF_ERROR(ReadPage(page_no, &page));

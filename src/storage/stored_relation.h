@@ -72,6 +72,15 @@ class StoredRelation {
   static Status DecodePage(const Schema& schema, const Page& page,
                            std::vector<Tuple>* out);
 
+  /// Batch-decode variant for tight loops: appends every record in `page`
+  /// to `*arena` (not cleared), reserving capacity up front so a reused
+  /// arena stops reallocating after the first pages. Returns the number of
+  /// tuples appended. Serial and parallel probe/partition paths reuse one
+  /// arena per worker across pages to avoid per-page vector churn.
+  static StatusOr<size_t> DecodePageAppend(const Schema& schema,
+                                           const Page& page,
+                                           std::vector<Tuple>* arena);
+
   /// Number of tuples stored on `page_no` (directory lookup; no I/O).
   uint32_t TuplesOnPage(uint32_t page_no) const;
 
