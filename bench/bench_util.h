@@ -10,6 +10,7 @@
 #include "core/partition_join.h"
 #include "join/nested_loop_join.h"
 #include "join/sort_merge_join.h"
+#include "obs/explain.h"
 #include "workload/generator.h"
 #include "workload/paper_params.h"
 
@@ -38,6 +39,16 @@ inline uint32_t BenchThreads() {
   if (env == nullptr) return 1;
   long v = std::strtol(env, nullptr, 10);
   return v >= 1 ? static_cast<uint32_t>(v) : 1;
+}
+
+/// TEMPO_BENCH_TRACE=1 runs every RunJoin under an ExecContext and prints
+/// the EXPLAIN ANALYZE span tree after the join. Tracing never perturbs
+/// the reproduced numbers — charged I/O and output bytes are identical
+/// with and without it (the obs_test null-context test locks this in) —
+/// so it is safe to leave on for whole figure sweeps.
+inline bool BenchTrace() {
+  const char* env = std::getenv("TEMPO_BENCH_TRACE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
 /// The paper's workload (Sections 4.2-4.4) scaled by `scale`:
@@ -84,13 +95,15 @@ inline StatusOr<JoinRunStats> RunJoin(Algo algo, StoredRelation* r,
   TEMPO_RETURN_IF_ERROR(out.SetCharged(false));
   disk->accountant().Reset();
 
+  ExecContext ctx;
+  ExecContext* ctxp = BenchTrace() ? &ctx : nullptr;
   StatusOr<JoinRunStats> stats = Status::Internal("unreachable");
   switch (algo) {
     case Algo::kNestedLoop: {
       VtJoinOptions options;
       options.buffer_pages = buffer_pages;
       options.cost_model = model;
-      stats = NestedLoopVtJoin(r, s, &out, options);
+      stats = NestedLoopVtJoin(r, s, &out, options, ctxp);
       break;
     }
     case Algo::kSortMerge: {
@@ -98,7 +111,7 @@ inline StatusOr<JoinRunStats> RunJoin(Algo algo, StoredRelation* r,
       options.buffer_pages = buffer_pages;
       options.cost_model = model;
       options.parallel.num_threads = BenchThreads();
-      stats = SortMergeVtJoin(r, s, &out, options);
+      stats = SortMergeVtJoin(r, s, &out, options, ctxp);
       break;
     }
     case Algo::kPartition: {
@@ -107,9 +120,15 @@ inline StatusOr<JoinRunStats> RunJoin(Algo algo, StoredRelation* r,
       options.cost_model = model;
       options.seed = seed;
       options.parallel.num_threads = BenchThreads();
-      stats = PartitionVtJoin(r, s, &out, options);
+      stats = PartitionVtJoin(r, s, &out, options, ctxp);
       break;
     }
+  }
+  if (ctxp != nullptr && stats.ok()) {
+    ExplainOptions eopts;
+    eopts.cost_model = model;
+    std::printf("\nEXPLAIN ANALYZE (%s, buffSize=%u)\n%s\n", AlgoName(algo),
+                buffer_pages, ExplainAnalyze(ctx, eopts).c_str());
   }
   disk->DeleteFile(out.file_id()).ok();
   return stats;

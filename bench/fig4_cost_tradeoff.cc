@@ -78,6 +78,25 @@ int Run() {
               sample_monotone ? "yes" : "no");
   std::printf("C_cache  non-increasing in partSize: %s\n",
               cache_monotone ? "yes" : "no");
+
+  if (BenchTrace()) {
+    // End-to-end smoke of the partitioning the curve prices: run the
+    // partition join at the chosen buffer size; RunJoin prints the
+    // EXPLAIN ANALYZE span tree (sampling / chooseIntervals /
+    // partitioning / joinPartitions) with estimated vs. actual cost.
+    auto s_or = GenerateRelation(&disk, PaperWorkload(scale, 64000, 701), "s");
+    if (!s_or.ok()) {
+      std::fprintf(stderr, "workload generation failed\n");
+      return 1;
+    }
+    auto stats = RunJoin(Algo::kPartition, r, s_or->get(),
+                         options.buffer_pages, options.cost_model);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "traced join failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }
 

@@ -39,8 +39,9 @@ double CacheComponent(const std::vector<uint64_t>& cache_pages,
 class CandidateSweep {
  public:
   CandidateSweep(StoredRelation* r, const PartitionPlanOptions& options,
-                 Random* rng)
+                 Random* rng, ExecContext* ctx = nullptr)
       : options_(options),
+        ctx_(ctx),
         pages_(r->num_pages()),
         tuples_(r->num_tuples()),
         tuples_per_page_(static_cast<double>(tuples_) /
@@ -81,6 +82,7 @@ class CandidateSweep {
     m = std::min<uint64_t>(m, sampler_.population());
     if (static_cast<double>(m) * options_.cost_model.random_weight >
         scan_cost_) {
+      TraceSpan span = SpanIf(ctx_, Phase::kSampling);
       TEMPO_RETURN_IF_ERROR(sampler_.SwitchToScan());
     }
     return Status::OK();
@@ -97,10 +99,12 @@ class CandidateSweep {
     m = std::min<uint64_t>(m, sampler_.population());
     double est = static_cast<double>(m) * options_.cost_model.random_weight;
     if (options_.in_scan_sampling && est > scan_cost_) {
+      TraceSpan span = SpanIf(ctx_, Phase::kSampling);
       TEMPO_RETURN_IF_ERROR(sampler_.SwitchToScan());
       est = scan_cost_;
     }
     if (m > sampler_.num_drawn()) {
+      TraceSpan span = SpanIf(ctx_, Phase::kSampling);
       TEMPO_RETURN_IF_ERROR(
           sampler_.DrawRandom(m - sampler_.num_drawn()).status());
     }
@@ -141,6 +145,7 @@ class CandidateSweep {
 
  private:
   const PartitionPlanOptions& options_;
+  ExecContext* ctx_;
   const uint32_t pages_;
   const uint64_t tuples_;
   const double tuples_per_page_;
@@ -172,7 +177,8 @@ PartitionPlan TrivialPlan(StoredRelation* r,
 }  // namespace
 
 StatusOr<PartitionPlan> DeterminePartIntervals(
-    StoredRelation* r, const PartitionPlanOptions& options, Random* rng) {
+    StoredRelation* r, const PartitionPlanOptions& options, Random* rng,
+    ExecContext* ctx) {
   if (options.buffer_pages < 4) {
     return Status::InvalidArgument(
         "partition planning needs at least 4 buffer pages");
@@ -182,7 +188,7 @@ StatusOr<PartitionPlan> DeterminePartIntervals(
     return TrivialPlan(r, options);
   }
 
-  CandidateSweep sweep(r, options, rng);
+  CandidateSweep sweep(r, options, rng, ctx);
 
   // Forced partition count: sample for the corresponding size and return.
   if (options.forced_num_partitions > 1) {

@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "common/statusor.h"
 #include "core/partition_spec.h"
+#include "obs/exec_context.h"
 #include "sampling/kolmogorov.h"
 #include "storage/io_accountant.h"
 #include "storage/stored_relation.h"
@@ -72,9 +73,15 @@ struct PartitionPlan {
 ///
 /// A relation that fits in the partition area yields the trivial
 /// single-partition plan with no sampling.
+///
+/// With a non-null `ctx`, the sampling I/O (random draws or the
+/// break-even sequential scan) is traced as kSampling spans, nested under
+/// whatever span the caller holds open (PartitionVtJoin wraps this call
+/// in kChooseIntervals).
 StatusOr<PartitionPlan> DeterminePartIntervals(StoredRelation* r,
                                                const PartitionPlanOptions& options,
-                                               Random* rng);
+                                               Random* rng,
+                                               ExecContext* ctx = nullptr);
 
 /// One point of the Figure-4 cost curve: the optimizer's view of a
 /// candidate partition size.

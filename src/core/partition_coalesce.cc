@@ -29,7 +29,8 @@ struct Group {
 
 StatusOr<JoinRunStats> PartitionCoalesce(StoredRelation* in,
                                          StoredRelation* out,
-                                         const PartitionJoinOptions& options) {
+                                         const PartitionJoinOptions& options,
+                                         ExecContext* ctx) {
   if (in == nullptr || out == nullptr) {
     return Status::InvalidArgument("inputs must be non-null");
   }
@@ -41,7 +42,11 @@ StatusOr<JoinRunStats> PartitionCoalesce(StoredRelation* in,
   }
   Disk* disk = in->disk();
   IoAccountant& acct = disk->accountant();
+  if (ctx != nullptr && ctx->accountant() == nullptr) {
+    ctx->BindAccountant(&acct);
+  }
   IoStats before = acct.stats();
+  TraceSpan coalesce_span = SpanIf(ctx, Phase::kCoalesce);
 
   Random rng(options.seed);
   PartitionPlanOptions plan_options;
@@ -50,8 +55,13 @@ StatusOr<JoinRunStats> PartitionCoalesce(StoredRelation* in,
   plan_options.kolmogorov_critical = options.kolmogorov_critical;
   plan_options.in_scan_sampling = options.in_scan_sampling;
   plan_options.forced_num_partitions = options.forced_num_partitions;
-  TEMPO_ASSIGN_OR_RETURN(PartitionPlan plan,
-                         DeterminePartIntervals(in, plan_options, &rng));
+  StatusOr<PartitionPlan> plan_or = Status::Internal("unset");
+  {
+    TraceSpan plan_span = SpanIf(ctx, Phase::kChooseIntervals);
+    plan_or = DeterminePartIntervals(in, plan_options, &rng, ctx);
+  }
+  TEMPO_RETURN_IF_ERROR(plan_or.status());
+  PartitionPlan plan = std::move(plan_or).value();
 
   JoinRunStats stats;
   uint64_t carried_runs = 0;
@@ -134,8 +144,9 @@ StatusOr<JoinRunStats> PartitionCoalesce(StoredRelation* in,
 
   stats.io = acct.stats() - before;
   stats.output_tuples = out->num_tuples();
-  stats.details["partitions"] = static_cast<double>(plan.num_partitions);
-  stats.details["carried_runs"] = static_cast<double>(carried_runs);
+  stats.Set(Metric::kPartitions, static_cast<double>(plan.num_partitions));
+  stats.Set(Metric::kCarriedRuns, static_cast<double>(carried_runs));
+  ExportMetrics(stats, ctx);
   return stats;
 }
 

@@ -22,10 +22,13 @@ namespace tempo {
 /// coalescer's analogue of the long-lived tuple migration.
 ///
 /// The output is the coalesced relation (same schema); I/O is charged as
-/// usual. Detail keys: "partitions", "carried_runs".
+/// usual. Metrics: kPartitions, kCarriedRuns. With a non-null `ctx`, the
+/// run is traced as a kCoalesce span with the usual chooseIntervals /
+/// sampling children.
 StatusOr<JoinRunStats> PartitionCoalesce(StoredRelation* in,
                                          StoredRelation* out,
-                                         const PartitionJoinOptions& options);
+                                         const PartitionJoinOptions& options,
+                                         ExecContext* ctx = nullptr);
 
 }  // namespace tempo
 

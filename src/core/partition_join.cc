@@ -288,7 +288,8 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
                                       uint32_t cache_memory_pages,
                                       const ParallelOptions& parallel,
                                       ThreadPool* pool,
-                                      MorselStats* morsel_stats) {
+                                      MorselStats* morsel_stats,
+                                      ExecContext* ctx) {
   const size_t n = spec.num_partitions();
   if (pr->parts.size() != n || ps->parts.size() != n) {
     return Status::InvalidArgument(
@@ -306,6 +307,7 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
   Disk* disk = out->disk();
   IoAccountant& acct = disk->accountant();
   IoStats before = acct.stats();
+  TraceSpan join_span = SpanIf(ctx, Phase::kJoinPartitions);
 
   const Schema& r_schema = pr->parts.empty() ? out->schema()
                                              : pr->parts[0]->schema();
@@ -443,23 +445,26 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
   JoinRunStats stats;
   stats.io = acct.stats() - before;
   stats.output_tuples = writer.count();
-  stats.details["cache_pages_spilled"] =
-      static_cast<double>(cache_pages_spilled);
-  stats.details["cache_tuples"] = static_cast<double>(cache_tuples);
-  stats.details["overflow_chunks"] = static_cast<double>(overflow_chunks);
+  stats.Set(Metric::kCachePagesSpilled,
+            static_cast<double>(cache_pages_spilled));
+  stats.Set(Metric::kCacheTuples, static_cast<double>(cache_tuples));
+  stats.Set(Metric::kOverflowChunks, static_cast<double>(overflow_chunks));
   if (parallel.enabled()) {
-    stats.details["morsels_dispatched"] =
-        static_cast<double>(probe_stats.morsels_dispatched);
-    stats.details["parallel_efficiency"] =
-        probe_stats.Efficiency(parallel.num_threads);
+    stats.Set(Metric::kMorselsDispatched,
+              static_cast<double>(probe_stats.morsels_dispatched));
+    stats.Set(Metric::kParallelEfficiency,
+              probe_stats.Efficiency(parallel.num_threads));
   }
+  join_span.AddMorsels(probe_stats);
   if (morsel_stats != nullptr) morsel_stats->Merge(probe_stats);
+  ExportMetrics(stats, ctx);
   return stats;
 }
 
 StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
                                        StoredRelation* out,
-                                       const PartitionJoinOptions& options) {
+                                       const PartitionJoinOptions& options,
+                                       ExecContext* ctx) {
   TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout, PrepareJoin(r, s, out));
   if (options.buffer_pages < 4) {
     return Status::InvalidArgument(
@@ -467,7 +472,11 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
   }
   Disk* disk = r->disk();
   IoAccountant& acct = disk->accountant();
+  if (ctx != nullptr && ctx->accountant() == nullptr) {
+    ctx->BindAccountant(&acct);
+  }
   IoStats before = acct.stats();
+  TraceSpan root_span = SpanIf(ctx, Phase::kPartitionJoin);
   Random rng(options.seed);
 
   std::unique_ptr<ThreadPool> pool;
@@ -483,13 +492,27 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
   plan_options.kolmogorov_critical = options.kolmogorov_critical;
   plan_options.in_scan_sampling = options.in_scan_sampling;
   plan_options.forced_num_partitions = options.forced_num_partitions;
-  TEMPO_ASSIGN_OR_RETURN(PartitionPlan plan,
-                         DeterminePartIntervals(r, plan_options, &rng));
+  StatusOr<PartitionPlan> plan_or = Status::Internal("unset");
+  {
+    TraceSpan plan_span = SpanIf(ctx, Phase::kChooseIntervals);
+    plan_or = DeterminePartIntervals(r, plan_options, &rng, ctx);
+  }
+  TEMPO_RETURN_IF_ERROR(plan_or.status());
+  PartitionPlan plan = std::move(plan_or).value();
+  if (ctx != nullptr) {
+    // The optimizer's cost split maps onto the span tree: C_sample onto
+    // the sampling phase, C_join onto joinPartitions (which re-reads the
+    // partitions and pages the tuple cache), their sum onto the root.
+    ctx->AnnotateEstimate(Phase::kSampling, plan.est_sample_cost);
+    ctx->AnnotateEstimate(Phase::kJoinPartitions, plan.est_join_cost);
+    root_span.SetEstimate(plan.est_sample_cost + plan.est_join_cost);
+  }
 
   JoinRunStats stats;
   if (plan.num_partitions <= 1) {
     // The outer relation fits in the partition area: no partitioning I/O;
     // read r into memory and stream s past it.
+    TraceSpan fast_span = SpanIf(ctx, Phase::kJoinPartitions);
     OuterArea outer(&layout.r_join_attrs);
     const uint32_t pages = r->num_pages();
     std::vector<Tuple> decoded;
@@ -520,6 +543,7 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
     }
     TEMPO_RETURN_IF_ERROR(stream.Finish());
     TEMPO_RETURN_IF_ERROR(writer.Finish());
+    fast_span.AddMorsels(total_morsels);
     stats.output_tuples = writer.count();
   } else {
     // Phase 2: Grace-partition both inputs with the same intervals. With a
@@ -531,18 +555,32 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
     StatusOr<PartitionedRelation> ps_or = Status::Internal("unset");
     MorselStats r_morsels, s_morsels;
     if (pool != nullptr) {
+      // The r coordinator runs on a spawned thread whose span stack is
+      // empty, so its span names the partition-join root as parent
+      // explicitly; the tree shape matches the serial run.
       std::thread r_thread([&] {
+        TraceSpan r_span =
+            SpanUnderIf(ctx, root_span, Phase::kPartitionR);
         pr_or = GracePartition(r, plan.spec, options.buffer_pages,
                                options.placement, r->name(), options.parallel,
                                pool.get(), &r_morsels);
+        r_span.AddMorsels(r_morsels);
       });
-      ps_or = GracePartition(s, plan.spec, options.buffer_pages,
-                             options.placement, s->name(), options.parallel,
-                             pool.get(), &s_morsels);
+      {
+        TraceSpan s_span = SpanIf(ctx, Phase::kPartitionS);
+        ps_or = GracePartition(s, plan.spec, options.buffer_pages,
+                               options.placement, s->name(), options.parallel,
+                               pool.get(), &s_morsels);
+        s_span.AddMorsels(s_morsels);
+      }
       r_thread.join();
     } else {
-      pr_or = GracePartition(r, plan.spec, options.buffer_pages,
-                             options.placement, r->name());
+      {
+        TraceSpan r_span = SpanIf(ctx, Phase::kPartitionR);
+        pr_or = GracePartition(r, plan.spec, options.buffer_pages,
+                               options.placement, r->name());
+      }
+      TraceSpan s_span = SpanIf(ctx, Phase::kPartitionS);
       ps_or = GracePartition(s, plan.spec, options.buffer_pages,
                              options.placement, s->name());
     }
@@ -552,10 +590,10 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
     PartitionedRelation ps = std::move(ps_or).value();
     total_morsels.Merge(r_morsels);
     total_morsels.Merge(s_morsels);
-    stats.details["partition_pages_written"] =
-        static_cast<double>(pr.TotalPages() + ps.TotalPages());
-    stats.details["tuples_written"] =
-        static_cast<double>(pr.tuples_written + ps.tuples_written);
+    stats.Set(Metric::kPartitionPagesWritten,
+              static_cast<double>(pr.TotalPages() + ps.TotalPages()));
+    stats.Set(Metric::kTuplesWritten,
+              static_cast<double>(pr.tuples_written + ps.tuples_written));
 
     // Phase 3: join corresponding partitions.
     TEMPO_ASSIGN_OR_RETURN(
@@ -563,27 +601,29 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
         JoinPartitions(layout, plan.spec, &pr, &ps, out, options.buffer_pages,
                        options.placement, options.predicate,
                        options.tuple_cache_memory_pages, options.parallel,
-                       pool.get(), &total_morsels));
+                       pool.get(), &total_morsels, ctx));
     stats.output_tuples = join_stats.output_tuples;
+    stats.metrics.Merge(join_stats.metrics);
     for (const auto& [k, v] : join_stats.details) stats.details[k] = v;
     pr.Drop();
     ps.Drop();
   }
 
   stats.io = acct.stats() - before;
-  stats.details["partitions"] = static_cast<double>(plan.num_partitions);
-  stats.details["part_size_pages"] =
-      static_cast<double>(plan.part_size_pages);
-  stats.details["samples"] = static_cast<double>(plan.samples_drawn);
-  stats.details["sampled_by_scan"] = plan.sampled_by_scan ? 1.0 : 0.0;
-  stats.details["est_sample_cost"] = plan.est_sample_cost;
-  stats.details["est_join_cost"] = plan.est_join_cost;
+  stats.Set(Metric::kPartitions, static_cast<double>(plan.num_partitions));
+  stats.Set(Metric::kPartSizePages,
+            static_cast<double>(plan.part_size_pages));
+  stats.Set(Metric::kSamples, static_cast<double>(plan.samples_drawn));
+  stats.Set(Metric::kSampledByScan, plan.sampled_by_scan ? 1.0 : 0.0);
+  stats.Set(Metric::kEstSampleCost, plan.est_sample_cost);
+  stats.Set(Metric::kEstJoinCost, plan.est_join_cost);
   if (options.parallel.enabled()) {
-    stats.details["morsels_dispatched"] =
-        static_cast<double>(total_morsels.morsels_dispatched);
-    stats.details["parallel_efficiency"] =
-        total_morsels.Efficiency(options.parallel.num_threads);
+    stats.Set(Metric::kMorselsDispatched,
+              static_cast<double>(total_morsels.morsels_dispatched));
+    stats.Set(Metric::kParallelEfficiency,
+              total_morsels.Efficiency(options.parallel.num_threads));
   }
+  ExportMetrics(stats, ctx);
   return stats;
 }
 

@@ -8,17 +8,14 @@
 
 namespace tempo {
 
-/// Options for the partition-based valid-time natural join.
-struct PartitionJoinOptions {
-  /// Total main-memory budget in pages (Figure 3: buffSize pages of outer
-  /// partition area + one page each for the inner buffer, tuple cache and
-  /// result).
-  uint32_t buffer_pages = 2048;
-
-  CostModel cost_model = CostModel::Ratio(5.0);
-
-  uint64_t seed = 42;
-
+/// Options for the partition-based valid-time natural join. The shared
+/// knobs (buffer_pages — Figure 3's buffSize pages of outer partition
+/// area plus one page each for the inner buffer, tuple cache and result —
+/// cost_model, seed, parallel) live in the ExecOptions base; callers
+/// holding a VtJoinOptions transfer them with one slice-assignment:
+///   PartitionJoinOptions part;
+///   static_cast<ExecOptions&>(part) = options;
+struct PartitionJoinOptions : ExecOptions {
   /// See PartitionPlanOptions.
   double kolmogorov_critical = KolmogorovCritical::k99;
   bool in_scan_sampling = true;
@@ -37,21 +34,6 @@ struct PartitionJoinOptions {
   /// Raising this trades outer-partition area for cache space, the
   /// Section 5 future-work knob (see bench/ablation_cache_reserve).
   uint32_t tuple_cache_memory_pages = 1;
-
-  /// Threading for the CPU-bound phases (partitioning decode/route, probe).
-  /// num_threads == 1 (the default) is the paper-faithful serial mode; any
-  /// higher setting produces byte-identical output and identical charged
-  /// I/O (see DESIGN.md, "Threading model").
-  ParallelOptions parallel;
-
-  VtJoinOptions ToVtJoinOptions() const {
-    VtJoinOptions o;
-    o.buffer_pages = buffer_pages;
-    o.cost_model = cost_model;
-    o.seed = seed;
-    o.parallel = parallel;
-    return o;
-  }
 };
 
 /// Joins two already-partitioned relations (algorithm joinPartitions,
@@ -77,9 +59,9 @@ struct PartitionJoinOptions {
 /// in area-sized chunks, re-reading s_i and the spilled cache for each
 /// extra chunk: that re-reading is precisely the thrashing cost.
 ///
-/// Detail keys in JoinRunStats: "cache_pages_spilled", "cache_tuples",
-/// "overflow_chunks"; with `parallel.enabled()` additionally
-/// "morsels_dispatched" and "parallel_efficiency".
+/// Metrics in JoinRunStats: kCachePagesSpilled, kCacheTuples,
+/// kOverflowChunks; with `parallel.enabled()` additionally
+/// kMorselsDispatched and kParallelEfficiency.
 ///
 /// With `parallel.enabled()`, probe work inside each partition fans out
 /// over `pool` (or a pool created locally if null): the coordinator still
@@ -101,7 +83,8 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
                                       const ParallelOptions& parallel =
                                           ParallelOptions{},
                                       ThreadPool* pool = nullptr,
-                                      MorselStats* morsel_stats = nullptr);
+                                      MorselStats* morsel_stats = nullptr,
+                                      ExecContext* ctx = nullptr);
 
 /// The paper's contribution, end to end (Figure 2):
 ///
@@ -115,12 +98,19 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
 /// I/O is charged to the disk's accountant and reported in the returned
 /// stats.
 ///
-/// Detail keys (in addition to JoinPartitions'): "partitions",
-/// "part_size_pages", "samples", "sampled_by_scan", "est_sample_cost",
-/// "est_join_cost", "partition_pages_written".
+/// Metrics (in addition to JoinPartitions'): kPartitions, kPartSizePages,
+/// kSamples, kSampledByScan, kEstSampleCost, kEstJoinCost,
+/// kPartitionPagesWritten, kTuplesWritten.
+///
+/// With a non-null `ctx`, execution is traced as a span tree
+/// (chooseIntervals with nested sampling, partitioning r, partitioning s,
+/// joinPartitions) and the typed metrics are exported into the context;
+/// with a null `ctx`, charged I/O and output bytes are bit-identical to a
+/// run without observability.
 StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
                                        StoredRelation* out,
-                                       const PartitionJoinOptions& options);
+                                       const PartitionJoinOptions& options,
+                                       ExecContext* ctx = nullptr);
 
 }  // namespace tempo
 

@@ -115,29 +115,52 @@ JoinPlan PlanVtJoin(StoredRelation* r, StoredRelation* s,
 
 StatusOr<JoinRunStats> ExecuteVtJoin(StoredRelation* r, StoredRelation* s,
                                      StoredRelation* out,
-                                     const VtJoinOptions& options) {
-  JoinPlan plan = PlanVtJoin(r, s, options);
+                                     const VtJoinOptions& options,
+                                     ExecContext* ctx) {
+  if (ctx != nullptr && ctx->accountant() == nullptr) {
+    ctx->BindAccountant(&r->disk()->accountant());
+  }
+  JoinPlan plan;
+  {
+    TraceSpan plan_span = SpanIf(ctx, Phase::kPlan);
+    plan = PlanVtJoin(r, s, options);
+  }
+  if (ctx != nullptr) {
+    // Pre-annotate the chosen executor's root span so ExplainAnalyze
+    // prints the planner's estimate next to the phase's actual cost.
+    const double est = plan.candidates.front().estimated_cost;
+    switch (plan.algorithm) {
+      case JoinAlgorithm::kNestedLoop:
+        ctx->AnnotateEstimate(Phase::kNestedLoop, est);
+        break;
+      case JoinAlgorithm::kSortMerge:
+        ctx->AnnotateEstimate(Phase::kSortMerge, est);
+        break;
+      case JoinAlgorithm::kPartition:
+        ctx->AnnotateEstimate(Phase::kPartitionJoin, est);
+        break;
+    }
+  }
   StatusOr<JoinRunStats> stats = Status::Internal("unreachable");
   switch (plan.algorithm) {
     case JoinAlgorithm::kNestedLoop:
-      stats = NestedLoopVtJoin(r, s, out, options);
+      stats = NestedLoopVtJoin(r, s, out, options, ctx);
       break;
     case JoinAlgorithm::kSortMerge:
-      stats = SortMergeVtJoin(r, s, out, options);
+      stats = SortMergeVtJoin(r, s, out, options, ctx);
       break;
     case JoinAlgorithm::kPartition: {
       PartitionJoinOptions pj;
-      pj.buffer_pages = options.buffer_pages;
-      pj.cost_model = options.cost_model;
-      pj.seed = options.seed;
-      stats = PartitionVtJoin(r, s, out, pj);
+      static_cast<ExecOptions&>(pj) = options;
+      stats = PartitionVtJoin(r, s, out, pj, ctx);
       break;
     }
   }
   if (stats.ok()) {
-    stats->details["planned_algorithm"] =
-        static_cast<double>(static_cast<int>(plan.algorithm));
-    stats->details["planned_cost"] = plan.candidates.front().estimated_cost;
+    stats->Set(Metric::kPlannedAlgorithm,
+               static_cast<double>(static_cast<int>(plan.algorithm)));
+    stats->Set(Metric::kPlannedCost, plan.candidates.front().estimated_cost);
+    ExportMetrics(*stats, ctx);
   }
   return stats;
 }

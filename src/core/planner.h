@@ -60,11 +60,17 @@ JoinPlan PlanVtJoin(StoredRelation* r, StoredRelation* s,
                     const VtJoinOptions& options);
 
 /// Plans, then executes the chosen algorithm. The returned stats carry
-/// the usual executor details plus "planned_algorithm" (0=NL, 1=SM,
-/// 2=PJ) and "planned_cost".
+/// the usual executor metrics plus kPlannedAlgorithm (0=NL, 1=SM, 2=PJ)
+/// and kPlannedCost.
+///
+/// With a non-null `ctx`, planning runs under a kPlan span, the planner's
+/// estimate is annotated onto the chosen executor's root span (so
+/// ExplainAnalyze prints estimated vs. actual cost side by side), and the
+/// executor's phases are traced as usual.
 StatusOr<JoinRunStats> ExecuteVtJoin(StoredRelation* r, StoredRelation* s,
                                      StoredRelation* out,
-                                     const VtJoinOptions& options);
+                                     const VtJoinOptions& options,
+                                     ExecContext* ctx = nullptr);
 
 }  // namespace tempo
 

@@ -23,8 +23,13 @@ MaterializedVtJoinView::~MaterializedVtJoinView() {
 }
 
 Status MaterializedVtJoinView::Build(StoredRelation* r, StoredRelation* s,
-                                     uint32_t buffer_pages, uint64_t seed) {
+                                     uint32_t buffer_pages, uint64_t seed,
+                                     ExecContext* ctx) {
   if (built_) return Status::FailedPrecondition("view already built");
+  if (ctx != nullptr && ctx->accountant() == nullptr) {
+    ctx->BindAccountant(&disk_->accountant());
+  }
+  TraceSpan build_span = SpanIf(ctx, Phase::kViewBuild);
   TEMPO_ASSIGN_OR_RETURN(layout_,
                          DeriveNaturalJoinLayout(r->schema(), s->schema()));
 
@@ -33,7 +38,7 @@ Status MaterializedVtJoinView::Build(StoredRelation* r, StoredRelation* s,
   PartitionPlanOptions plan_options;
   plan_options.buffer_pages = buffer_pages;
   TEMPO_ASSIGN_OR_RETURN(PartitionPlan plan,
-                         DeterminePartIntervals(r, plan_options, &rng));
+                         DeterminePartIntervals(r, plan_options, &rng, ctx));
   spec_ = plan.spec;
   const size_t n = spec_.num_partitions();
 
@@ -212,9 +217,13 @@ Status MaterializedVtJoinView::DeleteFrom(Side& side, Side& other,
 }
 
 StatusOr<MaterializedVtJoinView::UpdateStats> MaterializedVtJoinView::InsertR(
-    const Tuple& t) {
+    const Tuple& t, ExecContext* ctx) {
+  if (ctx != nullptr && ctx->accountant() == nullptr) {
+    ctx->BindAccountant(&disk_->accountant());
+  }
   UpdateStats stats;
   IoStats before = disk_->accountant().stats();
+  TraceSpan span = SpanIf(ctx, Phase::kViewInsert, "r");
   TEMPO_RETURN_IF_ERROR(
       InsertInto(r_side_, s_side_, /*side_is_r=*/true, t, &stats));
   stats.io = disk_->accountant().stats() - before;
@@ -222,9 +231,13 @@ StatusOr<MaterializedVtJoinView::UpdateStats> MaterializedVtJoinView::InsertR(
 }
 
 StatusOr<MaterializedVtJoinView::UpdateStats> MaterializedVtJoinView::InsertS(
-    const Tuple& t) {
+    const Tuple& t, ExecContext* ctx) {
+  if (ctx != nullptr && ctx->accountant() == nullptr) {
+    ctx->BindAccountant(&disk_->accountant());
+  }
   UpdateStats stats;
   IoStats before = disk_->accountant().stats();
+  TraceSpan span = SpanIf(ctx, Phase::kViewInsert, "s");
   TEMPO_RETURN_IF_ERROR(
       InsertInto(s_side_, r_side_, /*side_is_r=*/false, t, &stats));
   stats.io = disk_->accountant().stats() - before;
@@ -232,9 +245,13 @@ StatusOr<MaterializedVtJoinView::UpdateStats> MaterializedVtJoinView::InsertS(
 }
 
 StatusOr<MaterializedVtJoinView::UpdateStats> MaterializedVtJoinView::DeleteR(
-    const Tuple& t) {
+    const Tuple& t, ExecContext* ctx) {
+  if (ctx != nullptr && ctx->accountant() == nullptr) {
+    ctx->BindAccountant(&disk_->accountant());
+  }
   UpdateStats stats;
   IoStats before = disk_->accountant().stats();
+  TraceSpan span = SpanIf(ctx, Phase::kViewDelete, "r");
   TEMPO_RETURN_IF_ERROR(
       DeleteFrom(r_side_, s_side_, /*side_is_r=*/true, t, &stats));
   stats.io = disk_->accountant().stats() - before;
@@ -242,9 +259,13 @@ StatusOr<MaterializedVtJoinView::UpdateStats> MaterializedVtJoinView::DeleteR(
 }
 
 StatusOr<MaterializedVtJoinView::UpdateStats> MaterializedVtJoinView::DeleteS(
-    const Tuple& t) {
+    const Tuple& t, ExecContext* ctx) {
+  if (ctx != nullptr && ctx->accountant() == nullptr) {
+    ctx->BindAccountant(&disk_->accountant());
+  }
   UpdateStats stats;
   IoStats before = disk_->accountant().stats();
+  TraceSpan span = SpanIf(ctx, Phase::kViewDelete, "s");
   TEMPO_RETURN_IF_ERROR(
       DeleteFrom(s_side_, r_side_, /*side_is_r=*/false, t, &stats));
   stats.io = disk_->accountant().stats() - before;

@@ -60,20 +60,23 @@ class MaterializedVtJoinView {
 
   /// Builds the view from base relations (copies their contents into the
   /// view's partitioned storage). `buffer_pages` drives the partitioning
-  /// plan exactly as in PartitionVtJoin.
+  /// plan exactly as in PartitionVtJoin. With a non-null `ctx`, the build
+  /// is traced as a kViewBuild span (sampling children included).
   Status Build(StoredRelation* r, StoredRelation* s, uint32_t buffer_pages,
-               uint64_t seed = 42);
+               uint64_t seed = 42, ExecContext* ctx = nullptr);
 
   /// Inserts a tuple into the r (outer) side and maintains the view.
-  StatusOr<UpdateStats> InsertR(const Tuple& t);
+  /// With a non-null `ctx`, maintenance is traced as a kViewInsert span.
+  StatusOr<UpdateStats> InsertR(const Tuple& t, ExecContext* ctx = nullptr);
   /// Inserts a tuple into the s (inner) side and maintains the view.
-  StatusOr<UpdateStats> InsertS(const Tuple& t);
+  StatusOr<UpdateStats> InsertS(const Tuple& t, ExecContext* ctx = nullptr);
 
   /// Deletes one tuple equal to `t` (attributes and timestamp) from the
   /// given side, recomputing the overlapped partitions' results.
-  /// NotFound if no such tuple exists.
-  StatusOr<UpdateStats> DeleteR(const Tuple& t);
-  StatusOr<UpdateStats> DeleteS(const Tuple& t);
+  /// NotFound if no such tuple exists. With a non-null `ctx`, maintenance
+  /// is traced as a kViewDelete span.
+  StatusOr<UpdateStats> DeleteR(const Tuple& t, ExecContext* ctx = nullptr);
+  StatusOr<UpdateStats> DeleteS(const Tuple& t, ExecContext* ctx = nullptr);
 
   /// The current view contents (concatenation of partition results).
   StatusOr<std::vector<Tuple>> ReadResult();

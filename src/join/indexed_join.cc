@@ -8,7 +8,8 @@ namespace tempo {
 
 StatusOr<JoinRunStats> IndexedVtJoin(StoredRelation* r, StoredRelation* s,
                                      StoredRelation* out,
-                                     const VtJoinOptions& options) {
+                                     const VtJoinOptions& options,
+                                     ExecContext* ctx) {
   TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout, PrepareJoin(r, s, out));
   if (options.buffer_pages < 8) {
     return Status::InvalidArgument(
@@ -16,19 +17,40 @@ StatusOr<JoinRunStats> IndexedVtJoin(StoredRelation* r, StoredRelation* s,
   }
   Disk* disk = r->disk();
   IoAccountant& acct = disk->accountant();
+  if (ctx != nullptr && ctx->accountant() == nullptr) {
+    ctx->BindAccountant(&acct);
+  }
   IoStats before = acct.stats();
+  TraceSpan exec_span = SpanIf(ctx, Phase::kIndexed);
 
   // Sort both inputs by Vs; build the append-only tree over the inner.
-  TEMPO_ASSIGN_OR_RETURN(
-      SortedRelation sr,
-      ExternalSortByVs(r, options.buffer_pages, r->name() + ".isorted"));
-  TEMPO_ASSIGN_OR_RETURN(
-      SortedRelation ss,
-      ExternalSortByVs(s, options.buffer_pages, s->name() + ".isorted"));
+  SortedRelation sr;
+  SortedRelation ss;
+  {
+    TraceSpan sort_span = SpanIf(ctx, Phase::kSortR);
+    TEMPO_ASSIGN_OR_RETURN(
+        SortedRelation sorted,
+        ExternalSortByVs(r, options.buffer_pages, r->name() + ".isorted"));
+    sr = std::move(sorted);
+  }
+  {
+    TraceSpan sort_span = SpanIf(ctx, Phase::kSortS);
+    TEMPO_ASSIGN_OR_RETURN(
+        SortedRelation sorted,
+        ExternalSortByVs(s, options.buffer_pages, s->name() + ".isorted"));
+    ss = std::move(sorted);
+  }
   IoStats sort_end = acct.stats();
-  TEMPO_ASSIGN_OR_RETURN(auto tree,
-                         AppendOnlyTree::Build(ss.relation.get(), s->name()));
+  StatusOr<std::unique_ptr<AppendOnlyTree>> tree_or =
+      Status::Internal("unset");
+  {
+    TraceSpan build_span = SpanIf(ctx, Phase::kIndexBuild);
+    tree_or = AppendOnlyTree::Build(ss.relation.get(), s->name());
+  }
+  TEMPO_RETURN_IF_ERROR(tree_or.status());
+  std::unique_ptr<AppendOnlyTree> tree = std::move(tree_or).value();
   IoStats build_end = acct.stats();
+  TraceSpan probe_span = SpanIf(ctx, Phase::kIndexProbe);
 
   // Buffer split: a few frames pin index nodes, the rest cache inner
   // data pages; one page streams the outer, one holds the result.
@@ -38,6 +60,8 @@ StatusOr<JoinRunStats> IndexedVtJoin(StoredRelation* r, StoredRelation* s,
                              ? options.buffer_pages - node_frames - 2
                              : 1;
   BufferManager data_pool(disk, data_frames);
+  ScopedPoolRegistration node_reg(ctx, &node_pool);
+  ScopedPoolRegistration data_reg(ctx, &data_pool);
 
   ResultWriter writer(out);
   uint64_t inner_pages_scanned = 0;
@@ -91,18 +115,19 @@ StatusOr<JoinRunStats> IndexedVtJoin(StoredRelation* r, StoredRelation* s,
   JoinRunStats stats;
   stats.io = acct.stats() - before;
   stats.output_tuples = writer.count();
-  stats.details["index_node_pages"] =
-      static_cast<double>(tree->num_node_pages());
-  stats.details["index_build_io_ops"] =
-      static_cast<double>((build_end - sort_end).total_ops());
-  stats.details["sort_io_ops"] =
-      static_cast<double>((sort_end - before).total_ops());
-  stats.details["inner_pages_scanned"] =
-      static_cast<double>(inner_pages_scanned);
+  stats.Set(Metric::kIndexNodePages,
+            static_cast<double>(tree->num_node_pages()));
+  stats.Set(Metric::kIndexBuildIoOps,
+            static_cast<double>((build_end - sort_end).total_ops()));
+  stats.Set(Metric::kSortIoOps,
+            static_cast<double>((sort_end - before).total_ops()));
+  stats.Set(Metric::kInnerPagesScanned,
+            static_cast<double>(inner_pages_scanned));
 
   tree->Drop().ok();
   disk->DeleteFile(sr.relation->file_id()).ok();
   disk->DeleteFile(ss.relation->file_id()).ok();
+  ExportMetrics(stats, ctx);
   return stats;
 }
 

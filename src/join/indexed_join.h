@@ -22,12 +22,15 @@ namespace tempo {
 /// orderings or auxiliary access paths, each with additional update
 /// costs".
 ///
-/// Detail keys: "index_node_pages", "index_build_io_ops",
-/// "probe_node_reads" (approx; node reads are buffered),
-/// "inner_pages_scanned".
+/// Metrics in JoinRunStats: kIndexNodePages, kIndexBuildIoOps, kSortIoOps,
+/// kInnerPagesScanned. With a non-null `ctx`, the run is traced as
+/// kIndexed with nested sort r / sort s / index build / index probe
+/// spans, and the node and data buffer pools are registered so the probe
+/// span reports hit/miss deltas.
 StatusOr<JoinRunStats> IndexedVtJoin(StoredRelation* r, StoredRelation* s,
                                      StoredRelation* out,
-                                     const VtJoinOptions& options);
+                                     const VtJoinOptions& options,
+                                     ExecContext* ctx = nullptr);
 
 }  // namespace tempo
 

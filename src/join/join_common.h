@@ -7,6 +7,9 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "obs/exec_context.h"
+#include "obs/exec_options.h"
+#include "obs/metrics.h"
 #include "parallel/parallel_for.h"
 #include "relation/schema.h"
 #include "relation/tuple.h"
@@ -15,39 +18,55 @@
 
 namespace tempo {
 
-/// Options shared by all valid-time join executors.
-struct VtJoinOptions {
-  /// Total main-memory budget in pages (the paper's buffSize). All executor
-  /// working state that scales with the input — partition areas, sort run
-  /// buffers, merge windows — is charged against this budget; O(1)
-  /// bookkeeping is not.
-  uint32_t buffer_pages = 2048;  // 8 MiB at 4 KiB pages
+/// Options shared by all valid-time join executors. The four common knobs
+/// — buffer_pages (the paper's buffSize: all working state that scales
+/// with the input is charged against it), cost_model, seed, parallel —
+/// live in the shared ExecOptions core, so planner and executor option
+/// structs can exchange them by slicing instead of field-by-field copies.
+struct VtJoinOptions : ExecOptions {};
 
-  /// Weights used by cost-based decisions inside the executors (the
-  /// partition-size optimizer, the sampling-mode choice).
-  CostModel cost_model = CostModel::Ratio(5.0);
-
-  /// Seed for any sampling the executor performs.
-  uint64_t seed = 42;
-
-  /// Threading for CPU-bound phases (run formation, decode, probe). The
-  /// default single thread is the paper-faithful serial mode; see
-  /// ParallelOptions.
-  ParallelOptions parallel;
-};
-
-/// Execution report of one join run.
+/// Execution report of one join run. Executor-specific counters are typed
+/// (MetricsRegistry over the declared Metric enum); the stringly-typed
+/// `details` map remains as a deprecated read-only mirror.
 struct JoinRunStats {
   IoStats io;                ///< charged I/O performed by the executor
   uint64_t output_tuples = 0;
 
+  /// Typed executor counters; every key is declared in obs/metrics.h with
+  /// unit, owner and doc string.
+  MetricsRegistry metrics;
+
   /// Weighted cost of the run under `model`.
   double Cost(const CostModel& model) const { return io.Cost(model); }
 
-  /// Executor-specific details (e.g. "partitions", "samples",
-  /// "merge_backup_pages"). Keys are documented on each executor.
+  /// Records a metric: writes the typed registry and mirrors the value
+  /// into `details` under the metric's declared name.
+  void Set(Metric m, double value) {
+    metrics.Set(m, value);
+    details[GetMetricDef(m).name] = value;
+  }
+
+  /// Adds `delta` to a metric (unset counts as zero), mirroring as Set.
+  void Add(Metric m, double delta) {
+    metrics.Add(m, delta);
+    details[GetMetricDef(m).name] = metrics.Get(m);
+  }
+
+  double Get(Metric m) const { return metrics.Get(m); }
+  bool Has(Metric m) const { return metrics.Has(m); }
+
+  /// Deprecated: stringly-typed view of `metrics`, kept so existing
+  /// callers of `stats.details.at("partitions")` keep working. Maintained
+  /// by Set/Add; do not write it directly — new code reads Get(Metric).
   std::unordered_map<std::string, double> details;
 };
+
+/// Copies a run's typed metrics into the run's ExecContext (no-op on a
+/// null context). Executors call this once before returning so EXPLAIN
+/// ANALYZE can print the registry next to the span tree.
+inline void ExportMetrics(const JoinRunStats& stats, ExecContext* ctx) {
+  if (ctx != nullptr) ctx->metrics().Merge(stats.metrics);
+}
 
 /// Assembles the result tuple of the valid-time natural join (paper
 /// Section 2): explicit values A (shared), B (r-only), C (s-only), stamped
@@ -64,20 +83,24 @@ class ResultWriter {
 
   Status Emit(const NaturalJoinLayout& layout, const Tuple& x, const Tuple& y,
               const Interval& overlap) {
-    ++count_;
-    return out_->Append(MakeJoinTuple(layout, x, y, overlap));
+    Status st = out_->Append(MakeJoinTuple(layout, x, y, overlap));
+    if (st.ok()) ++count_;
+    return st;
   }
 
   /// Appends an already-assembled result tuple. The parallel probe builds
   /// result tuples on workers and the coordinator appends the per-morsel
   /// buffers in page order, so output bytes match the serial run.
   Status EmitAssembled(const Tuple& t) {
-    ++count_;
-    return out_->Append(t);
+    Status st = out_->Append(t);
+    if (st.ok()) ++count_;
+    return st;
   }
 
   Status Finish() { return out_->Flush(); }
 
+  /// Number of successfully appended result tuples; a failed Append is
+  /// not counted.
   uint64_t count() const { return count_; }
 
  private:

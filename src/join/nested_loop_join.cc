@@ -4,14 +4,19 @@ namespace tempo {
 
 StatusOr<JoinRunStats> NestedLoopVtJoin(StoredRelation* r, StoredRelation* s,
                                         StoredRelation* out,
-                                        const VtJoinOptions& options) {
+                                        const VtJoinOptions& options,
+                                        ExecContext* ctx) {
   TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout, PrepareJoin(r, s, out));
   if (options.buffer_pages < 3) {
     return Status::InvalidArgument(
         "nested-loop join needs at least 3 buffer pages");
   }
   IoAccountant& acct = r->disk()->accountant();
+  if (ctx != nullptr && ctx->accountant() == nullptr) {
+    ctx->BindAccountant(&acct);
+  }
   IoStats before = acct.stats();
+  TraceSpan span = SpanIf(ctx, Phase::kNestedLoop);
 
   const uint32_t block_pages = options.buffer_pages - 2;
   const uint32_t pages_r = r->num_pages();
@@ -60,7 +65,8 @@ StatusOr<JoinRunStats> NestedLoopVtJoin(StoredRelation* r, StoredRelation* s,
   JoinRunStats stats;
   stats.io = acct.stats() - before;
   stats.output_tuples = writer.count();
-  stats.details["outer_blocks"] = static_cast<double>(blocks);
+  stats.Set(Metric::kOuterBlocks, static_cast<double>(blocks));
+  ExportMetrics(stats, ctx);
   return stats;
 }
 

@@ -16,10 +16,12 @@ namespace tempo {
 /// affect its cost; memory size affects it dramatically — few outer pages
 /// in memory means many scans of the inner relation (Section 4.2).
 ///
-/// Detail keys in JoinRunStats: "outer_blocks".
+/// Metrics in JoinRunStats: kOuterBlocks. With a non-null `ctx`, the run
+/// is traced as one kNestedLoop span.
 StatusOr<JoinRunStats> NestedLoopVtJoin(StoredRelation* r, StoredRelation* s,
                                         StoredRelation* out,
-                                        const VtJoinOptions& options);
+                                        const VtJoinOptions& options,
+                                        ExecContext* ctx = nullptr);
 
 /// Closed-form I/O cost of NestedLoopVtJoin, excluding result output.
 /// Under HeadModel::kPerFile, the outer is one sequential pass (1 random +

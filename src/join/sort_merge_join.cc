@@ -227,7 +227,8 @@ class RetentionBudget {
 
 StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
                                        StoredRelation* out,
-                                       const VtJoinOptions& options) {
+                                       const VtJoinOptions& options,
+                                       ExecContext* ctx) {
   TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout, PrepareJoin(r, s, out));
   if (options.buffer_pages < 4) {
     return Status::InvalidArgument(
@@ -235,7 +236,11 @@ StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
   }
   Disk* disk = r->disk();
   IoAccountant& acct = disk->accountant();
+  if (ctx != nullptr && ctx->accountant() == nullptr) {
+    ctx->BindAccountant(&acct);
+  }
   IoStats before = acct.stats();
+  TraceSpan exec_span = SpanIf(ctx, Phase::kSortMerge);
 
   // --- Phase 1: sort both inputs by Vs. --------------------------------
   std::unique_ptr<ThreadPool> pool;
@@ -243,15 +248,27 @@ StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
     pool = std::make_unique<ThreadPool>(options.parallel.num_threads);
   }
   MorselStats sort_morsels;
-  TEMPO_ASSIGN_OR_RETURN(
-      SortedRelation sr,
-      ExternalSortByVs(r, options.buffer_pages, r->name() + ".sorted",
-                       options.parallel, pool.get(), &sort_morsels));
-  TEMPO_ASSIGN_OR_RETURN(
-      SortedRelation ss,
-      ExternalSortByVs(s, options.buffer_pages, s->name() + ".sorted",
-                       options.parallel, pool.get(), &sort_morsels));
+  SortedRelation sr;
+  SortedRelation ss;
+  {
+    TraceSpan sort_span = SpanIf(ctx, Phase::kSortR);
+    TEMPO_ASSIGN_OR_RETURN(
+        SortedRelation sorted,
+        ExternalSortByVs(r, options.buffer_pages, r->name() + ".sorted",
+                         options.parallel, pool.get(), &sort_morsels));
+    sr = std::move(sorted);
+  }
+  {
+    TraceSpan sort_span = SpanIf(ctx, Phase::kSortS);
+    TEMPO_ASSIGN_OR_RETURN(
+        SortedRelation sorted,
+        ExternalSortByVs(s, options.buffer_pages, s->name() + ".sorted",
+                         options.parallel, pool.get(), &sort_morsels));
+    ss = std::move(sorted);
+  }
+  exec_span.AddMorsels(sort_morsels);
   IoStats sort_io = acct.stats() - before;
+  TraceSpan sweep_span = SpanIf(ctx, Phase::kMergeSweep);
 
   // --- Phase 2: co-sweep in Vs order. ----------------------------------
   // Each sorted stream gets a multi-page read buffer so its refills are
@@ -356,16 +373,17 @@ StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
   JoinRunStats stats;
   stats.io = acct.stats() - before;
   stats.output_tuples = writer.count();
-  stats.details["sort_io_ops"] = static_cast<double>(sort_io.total_ops());
-  stats.details["backup_page_reads"] = static_cast<double>(backup_reads);
-  stats.details["max_active_tuples"] =
-      static_cast<double>(active_r.max_live() + active_s.max_live());
+  stats.Set(Metric::kSortIoOps, static_cast<double>(sort_io.total_ops()));
+  stats.Set(Metric::kBackupPageReads, static_cast<double>(backup_reads));
+  stats.Set(Metric::kMaxActiveTuples,
+            static_cast<double>(active_r.max_live() + active_s.max_live()));
   if (options.parallel.enabled()) {
-    stats.details["morsels_dispatched"] =
-        static_cast<double>(sort_morsels.morsels_dispatched);
-    stats.details["parallel_efficiency"] =
-        sort_morsels.Efficiency(options.parallel.num_threads);
+    stats.Set(Metric::kMorselsDispatched,
+              static_cast<double>(sort_morsels.morsels_dispatched));
+    stats.Set(Metric::kParallelEfficiency,
+              sort_morsels.Efficiency(options.parallel.num_threads));
   }
+  ExportMetrics(stats, ctx);
   return stats;
 }
 

@@ -28,11 +28,14 @@ namespace tempo {
 /// tuples is charged against the window, shrinking it — long-lived tuples
 /// squeeze the window and increase back-ups, compounding their cost.
 ///
-/// Detail keys in JoinRunStats: "sort_io_ops" (unweighted I/O count of the
-/// two sorts), "backup_page_reads", "max_active_tuples".
+/// Metrics in JoinRunStats: kSortIoOps (unweighted I/O count of the two
+/// sorts), kBackupPageReads, kMaxActiveTuples. With a non-null `ctx`, the
+/// run is traced as kSortMerge with nested sort r / sort s / merge sweep
+/// spans.
 StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
                                        StoredRelation* out,
-                                       const VtJoinOptions& options);
+                                       const VtJoinOptions& options,
+                                       ExecContext* ctx = nullptr);
 
 }  // namespace tempo
 

@@ -1,0 +1,42 @@
+#include "obs/exec_context.h"
+
+#include <algorithm>
+
+namespace tempo {
+
+void ExecContext::RegisterBufferPool(const BufferManager* pool) {
+  std::lock_guard<std::mutex> lock(pools_mu_);
+  pools_.push_back(pool);
+}
+
+void ExecContext::UnregisterBufferPool(const BufferManager* pool) {
+  std::lock_guard<std::mutex> lock(pools_mu_);
+  auto it = std::find(pools_.begin(), pools_.end(), pool);
+  if (it == pools_.end()) return;
+  retired_ = retired_ + pool->counters();
+  pools_.erase(it);
+}
+
+BufferCounters ExecContext::TotalBufferCounters() const {
+  std::lock_guard<std::mutex> lock(pools_mu_);
+  BufferCounters total = retired_;
+  for (const BufferManager* pool : pools_) total = total + pool->counters();
+  return total;
+}
+
+TraceSpan ExecContext::MakeSpan(SpanNode* node) {
+  TraceSpan span(&tracer_, node, accountant_, TotalBufferCounters());
+  span.set_buffers_at_end_fn([this] { return TotalBufferCounters(); });
+  return span;
+}
+
+TraceSpan ExecContext::Span(Phase phase, std::string label) {
+  return MakeSpan(tracer_.Begin(phase, std::move(label)));
+}
+
+TraceSpan ExecContext::SpanUnder(const TraceSpan& parent, Phase phase,
+                                 std::string label) {
+  return MakeSpan(tracer_.Begin(phase, std::move(label), parent.node()));
+}
+
+}  // namespace tempo

@@ -1,0 +1,35 @@
+#ifndef TEMPO_OBS_EXEC_OPTIONS_H_
+#define TEMPO_OBS_EXEC_OPTIONS_H_
+
+#include <cstdint>
+
+#include "parallel/parallel_for.h"
+#include "storage/io_accountant.h"
+
+namespace tempo {
+
+/// The options every join executor shares, factored out so VtJoinOptions
+/// and PartitionJoinOptions no longer duplicate (and silently fork) the
+/// same four knobs. Executor option structs inherit from this, so a
+/// partition-specific options value can be sliced down to the common core
+/// (`static_cast<ExecOptions&>(part_opts) = opts;`) instead of copying
+/// field by field.
+struct ExecOptions {
+  /// Buffer pages available to the algorithm (the paper's M).
+  uint32_t buffer_pages = 2048;
+
+  /// Random/sequential weights for cost formulas (the paper's default
+  /// 5:1 trial ratio).
+  CostModel cost_model = CostModel::Ratio(5.0);
+
+  /// Seed for sampling and any randomized placement decisions.
+  uint64_t seed = 42;
+
+  /// Threading for CPU-bound phases; default is the paper-faithful
+  /// serial mode.
+  ParallelOptions parallel;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_OBS_EXEC_OPTIONS_H_

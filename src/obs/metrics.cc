@@ -1,0 +1,44 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace tempo {
+
+namespace {
+
+constexpr std::array<MetricDef, kNumMetrics> kMetricDefs = {{
+#define TEMPO_METRIC_DEF(id, name, unit, owner, doc) \
+  {Metric::k##id, name, unit, owner, doc},
+    TEMPO_METRIC_LIST(TEMPO_METRIC_DEF)
+#undef TEMPO_METRIC_DEF
+}};
+
+}  // namespace
+
+const std::array<MetricDef, kNumMetrics>& AllMetricDefs() {
+  return kMetricDefs;
+}
+
+const MetricDef& GetMetricDef(Metric m) {
+  return kMetricDefs[static_cast<size_t>(m)];
+}
+
+const MetricDef* FindMetricByName(std::string_view name) {
+  for (const MetricDef& def : kMetricDefs) {
+    if (name == def.name) return &def;
+  }
+  return nullptr;
+}
+
+std::string MetricsRegistry::Describe() {
+  std::ostringstream out;
+  out << "| Metric | Unit | Emitted by | Description |\n";
+  out << "|--------|------|------------|-------------|\n";
+  for (const MetricDef& def : kMetricDefs) {
+    out << "| `" << def.name << "` | " << def.unit << " | " << def.owner
+        << " | " << def.doc << " |\n";
+  }
+  return out.str();
+}
+
+}  // namespace tempo

@@ -1,0 +1,170 @@
+#ifndef TEMPO_OBS_METRICS_H_
+#define TEMPO_OBS_METRICS_H_
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tempo {
+
+/// The single declaration point for every metric an executor may emit:
+///   TEMPO_METRIC(enumerator, "name", "unit", "owner", "doc")
+///
+/// The enumerator becomes Metric::k<enumerator>; the name is the key the
+/// deprecated JoinRunStats::details map mirrors it under (and what
+/// MetricsRegistry::Describe() documents). Adding a metric here is the
+/// only way to emit one — the typed Set/Add API cannot name an undeclared
+/// metric, which is the point of the registry.
+#define TEMPO_METRIC_LIST(M)                                                  \
+  M(OuterBlocks, "outer_blocks", "count", "NestedLoopVtJoin",                 \
+    "Outer blocks loaded; each block triggers one full scan of the inner "    \
+    "relation.")                                                              \
+  M(SortIoOps, "sort_io_ops", "ops", "SortMergeVtJoin / IndexedVtJoin",       \
+    "Unweighted I/O operations spent externally sorting the inputs by Vs.")   \
+  M(BackupPageReads, "backup_page_reads", "pages", "SortMergeVtJoin",         \
+    "Sorted-file pages physically re-read because a match hit a long-lived "  \
+    "tuple evicted from the merge window (the paper's back-up cost).")        \
+  M(MaxActiveTuples, "max_active_tuples", "tuples", "SortMergeVtJoin",        \
+    "Peak combined size of the two active (not-yet-expired) sweep sets.")     \
+  M(IndexNodePages, "index_node_pages", "pages", "IndexedVtJoin",             \
+    "Node pages of the append-only tree built over the inner relation.")      \
+  M(IndexBuildIoOps, "index_build_io_ops", "ops", "IndexedVtJoin",            \
+    "Unweighted I/O operations of the index build (node writes).")            \
+  M(InnerPagesScanned, "inner_pages_scanned", "pages", "IndexedVtJoin",       \
+    "Inner data pages scanned across all probes (after index range "          \
+    "pruning, through the LRU data pool).")                                   \
+  M(Partitions, "partitions", "count", "PartitionVtJoin / PartitionCoalesce", \
+    "Partitioning intervals chosen by the optimizer.")                        \
+  M(PartSizePages, "part_size_pages", "pages", "PartitionVtJoin",             \
+    "Estimated pages per outer partition of the chosen plan.")                \
+  M(Samples, "samples", "count", "PartitionVtJoin",                           \
+    "Interval samples drawn by the Kolmogorov-bounded sampler.")              \
+  M(SampledByScan, "sampled_by_scan", "flag", "PartitionVtJoin",              \
+    "1 when the sampler switched to one sequential scan (Section 4.2), 0 "    \
+    "for per-sample random reads.")                                           \
+  M(EstSampleCost, "est_sample_cost", "cost", "PartitionVtJoin",              \
+    "Planner-estimated C_sample of the chosen partitioning.")                 \
+  M(EstJoinCost, "est_join_cost", "cost", "PartitionVtJoin",                  \
+    "Planner-estimated C_join (partition write+read plus tuple-cache "        \
+    "paging) of the chosen partitioning.")                                    \
+  M(PartitionPagesWritten, "partition_pages_written", "pages",                \
+    "PartitionVtJoin",                                                        \
+    "Pages written by Grace partitioning across both inputs.")                \
+  M(TuplesWritten, "tuples_written", "tuples", "PartitionVtJoin",             \
+    "Tuples written by Grace partitioning; exceeds the input cardinality "    \
+    "only under the replication ablation policy.")                            \
+  M(CachePagesSpilled, "cache_pages_spilled", "pages", "JoinPartitions",      \
+    "Tuple-cache pages spilled to disk across all cache generations.")        \
+  M(CacheTuples, "cache_tuples", "tuples", "JoinPartitions",                  \
+    "Tuples migrated backwards through the tuple cache.")                     \
+  M(OverflowChunks, "overflow_chunks", "count", "JoinPartitions",             \
+    "Extra outer-area chunks processed because a partition overflowed the "   \
+    "partition area (sampling-error thrashing).")                             \
+  M(CarriedRuns, "carried_runs", "count", "PartitionCoalesce",                \
+    "Coalescing runs carried across a partition boundary.")                   \
+  M(MorselsDispatched, "morsels_dispatched", "count", "parallel layer",       \
+    "Morsels dispatched to the worker pool (parallel mode only).")            \
+  M(ParallelEfficiency, "parallel_efficiency", "ratio", "parallel layer",     \
+    "Worker busy time / (wall time x threads) over the parallel regions.")    \
+  M(PlannedAlgorithm, "planned_algorithm", "enum", "ExecuteVtJoin",           \
+    "Algorithm the planner chose: 0 = nested-loops, 1 = sort-merge, 2 = "     \
+    "partition.")                                                             \
+  M(PlannedCost, "planned_cost", "cost", "ExecuteVtJoin",                     \
+    "Planner-estimated I/O cost of the chosen algorithm.")
+
+/// Compile-time-checked identifier of a declared metric.
+enum class Metric : uint16_t {
+#define TEMPO_METRIC_ENUM(id, name, unit, owner, doc) k##id,
+  TEMPO_METRIC_LIST(TEMPO_METRIC_ENUM)
+#undef TEMPO_METRIC_ENUM
+};
+
+/// Number of declared metrics.
+inline constexpr size_t kNumMetrics = []() constexpr {
+  size_t n = 0;
+#define TEMPO_METRIC_COUNT(id, name, unit, owner, doc) ++n;
+  TEMPO_METRIC_LIST(TEMPO_METRIC_COUNT)
+#undef TEMPO_METRIC_COUNT
+  return n;
+}();
+
+/// One metric's declaration.
+struct MetricDef {
+  Metric id;
+  const char* name;   ///< stable key (also the deprecated details-map key)
+  const char* unit;   ///< count, pages, tuples, ops, cost, ratio, flag, enum
+  const char* owner;  ///< executor(s) that emit it
+  const char* doc;    ///< one-line description
+};
+
+/// Declaration of `m`.
+const MetricDef& GetMetricDef(Metric m);
+
+/// All declared metrics, in declaration order.
+const std::array<MetricDef, kNumMetrics>& AllMetricDefs();
+
+/// Looks a metric up by its stable name; null when undeclared. Used by the
+/// conformance test that asserts no executor emits an undeclared key.
+const MetricDef* FindMetricByName(std::string_view name);
+
+/// Typed replacement for the stringly-typed JoinRunStats details map: a
+/// fixed-slot value store over the declared metrics. Unset metrics are
+/// distinguishable from zero-valued ones.
+class MetricsRegistry {
+ public:
+  void Set(Metric m, double value) {
+    values_[Index(m)] = value;
+    present_.set(Index(m));
+  }
+
+  void Add(Metric m, double delta) {
+    values_[Index(m)] = Get(m) + delta;
+    present_.set(Index(m));
+  }
+
+  bool Has(Metric m) const { return present_.test(Index(m)); }
+
+  /// Value of `m`, or 0.0 when unset.
+  double Get(Metric m) const {
+    return present_.test(Index(m)) ? values_[Index(m)] : 0.0;
+  }
+
+  /// Copies every metric present in `other` into this registry.
+  void Merge(const MetricsRegistry& other) {
+    for (size_t i = 0; i < kNumMetrics; ++i) {
+      if (other.present_.test(i)) {
+        values_[i] = other.values_[i];
+        present_.set(i);
+      }
+    }
+  }
+
+  size_t size() const { return present_.count(); }
+
+  /// Invokes `fn(const MetricDef&, double value)` for each set metric, in
+  /// declaration order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const auto& defs = AllMetricDefs();
+    for (size_t i = 0; i < kNumMetrics; ++i) {
+      if (present_.test(i)) fn(defs[i], values_[i]);
+    }
+  }
+
+  /// Markdown table documenting every *declared* metric (name, unit,
+  /// owner, description) — the generated source of the DESIGN.md
+  /// observability appendix.
+  static std::string Describe();
+
+ private:
+  static size_t Index(Metric m) { return static_cast<size_t>(m); }
+
+  std::array<double, kNumMetrics> values_{};
+  std::bitset<kNumMetrics> present_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_OBS_METRICS_H_

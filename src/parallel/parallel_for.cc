@@ -30,6 +30,7 @@ Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
   size_t first_error_morsel = num_morsels;
   Status first_error = Status::OK();
   double busy = 0.0;
+  std::vector<double> worker_busy;
 
   {
     TaskGroup group(pool);
@@ -40,8 +41,14 @@ Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
         const Clock::time_point t0 = Clock::now();
         Status st = fn(m, begin, end);
         const double spent = Seconds(t0, Clock::now());
+        const int worker = ThreadPool::CurrentWorkerIndex();
+        const size_t slot = worker < 0 ? 0 : static_cast<size_t>(worker);
         std::lock_guard<std::mutex> lock(mu);
         busy += spent;
+        if (pool != nullptr) {
+          if (worker_busy.size() <= slot) worker_busy.resize(slot + 1, 0.0);
+          worker_busy[slot] += spent;
+        }
         if (!st.ok() && m < first_error_morsel) {
           first_error_morsel = m;
           first_error = std::move(st);
@@ -55,6 +62,12 @@ Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
     stats->morsels_dispatched += num_morsels;
     stats->busy_seconds += busy;
     stats->wall_seconds += Seconds(wall_start, Clock::now());
+    if (stats->per_worker_busy.size() < worker_busy.size()) {
+      stats->per_worker_busy.resize(worker_busy.size(), 0.0);
+    }
+    for (size_t i = 0; i < worker_busy.size(); ++i) {
+      stats->per_worker_busy[i] += worker_busy[i];
+    }
   }
   return first_error;
 }

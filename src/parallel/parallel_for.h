@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/status.h"
 #include "parallel/thread_pool.h"
@@ -41,11 +42,21 @@ struct MorselStats {
   uint64_t morsels_dispatched = 0;
   double busy_seconds = 0.0;
   double wall_seconds = 0.0;
+  /// Busy seconds by pool worker index; [0] also absorbs morsels executed
+  /// inline on a coordinator (serial fallback). Sized lazily to the highest
+  /// worker seen, so serial runs carry an empty vector.
+  std::vector<double> per_worker_busy;
 
   void Merge(const MorselStats& other) {
     morsels_dispatched += other.morsels_dispatched;
     busy_seconds += other.busy_seconds;
     wall_seconds += other.wall_seconds;
+    if (per_worker_busy.size() < other.per_worker_busy.size()) {
+      per_worker_busy.resize(other.per_worker_busy.size(), 0.0);
+    }
+    for (size_t i = 0; i < other.per_worker_busy.size(); ++i) {
+      per_worker_busy[i] += other.per_worker_busy[i];
+    }
   }
 
   double Efficiency(uint32_t num_threads) const {

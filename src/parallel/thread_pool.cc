@@ -2,13 +2,22 @@
 
 namespace tempo {
 
+namespace {
+
+/// Set once per worker thread at spawn; -1 on every other thread.
+thread_local int t_worker_index = -1;
+
+}  // namespace
+
 ThreadPool::ThreadPool(uint32_t num_threads) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (uint32_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
+
+int ThreadPool::CurrentWorkerIndex() { return t_worker_index; }
 
 ThreadPool::~ThreadPool() {
   {
@@ -27,7 +36,8 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(uint32_t index) {
+  t_worker_index = static_cast<int>(index);
   while (true) {
     std::function<void()> task;
     {

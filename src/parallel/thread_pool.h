@@ -38,8 +38,14 @@ class ThreadPool {
     return static_cast<uint32_t>(workers_.size());
   }
 
+  /// Index of the calling pool worker in [0, num_threads), or -1 when
+  /// called from a thread that is not a pool worker (e.g. a coordinator
+  /// running a morsel inline). Lets the parallel layer attribute morsel
+  /// time to individual workers for the observability span tree.
+  static int CurrentWorkerIndex();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(uint32_t index);
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

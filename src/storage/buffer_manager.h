@@ -13,6 +13,28 @@
 
 namespace tempo {
 
+/// Hit/miss counters of a BufferManager, snapshotable and subtractable so
+/// the tracing layer can attribute buffer traffic to a phase:
+///   BufferCounters before = pool.counters();
+///   ... run phase ...
+///   BufferCounters phase = pool.counters() - before;
+struct BufferCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+
+  uint64_t total() const { return hits + misses; }
+
+  BufferCounters operator-(const BufferCounters& other) const {
+    return BufferCounters{hits - other.hits, misses - other.misses};
+  }
+  BufferCounters operator+(const BufferCounters& other) const {
+    return BufferCounters{hits + other.hits, misses + other.misses};
+  }
+  bool operator==(const BufferCounters& other) const {
+    return hits == other.hits && misses == other.misses;
+  }
+};
+
 /// A classic pin/unpin buffer pool over a Disk with LRU replacement.
 ///
 /// The paper's join algorithms manage their buffer budget explicitly (outer
@@ -72,6 +94,12 @@ class BufferManager {
   uint64_t misses() const {
     std::lock_guard<std::mutex> lock(mu_);
     return misses_;
+  }
+
+  /// Consistent snapshot of both counters (one lock acquisition).
+  BufferCounters counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return BufferCounters{hits_, misses_};
   }
 
  private:

@@ -112,6 +112,19 @@ class IoAccountant {
   void RecordRead(uint64_t file_id, uint64_t page_no, bool charged);
   void RecordWrite(uint64_t file_id, uint64_t page_no, bool charged);
 
+  /// Scoped per-thread attribution, used by the tracing layer to charge a
+  /// phase for the I/O it issues. While registered, every charged access
+  /// recorded *by the registering thread* is additionally accumulated into
+  /// `*sink` (classification is identical to the global counters, so sinks
+  /// nest and sum exactly). Collectors form a per-thread stack and only the
+  /// innermost one receives the traffic — a nested phase's I/O is excluded
+  /// from its parent's sink, giving exclusive per-span attribution. The
+  /// registering thread must Pop in LIFO order; `*sink` may be read only
+  /// after the Pop. Accesses from threads with no registered collector
+  /// update just the global counters (free: one thread-local empty check).
+  void PushThreadCollector(IoStats* sink);
+  void PopThreadCollector(IoStats* sink);
+
   /// Snapshot of the counters.
   IoStats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -128,6 +141,10 @@ class IoAccountant {
  private:
   bool IsSequential(uint64_t file_id, uint64_t page_no) const;
   void Advance(uint64_t file_id, uint64_t page_no);
+
+  /// Innermost collector registered by the calling thread for this
+  /// accountant, or null.
+  IoStats* ThreadCollector() const;
 
   mutable std::mutex mu_;
   IoStats stats_;

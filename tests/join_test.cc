@@ -102,7 +102,8 @@ TEST(SameTupleMultisetTest, DetectsEqualityAndDifference) {
 struct ExecutorCase {
   const char* name;
   StatusOr<JoinRunStats> (*run)(StoredRelation*, StoredRelation*,
-                                StoredRelation*, const VtJoinOptions&);
+                                StoredRelation*, const VtJoinOptions&,
+                                ExecContext*);
   uint32_t buffer_pages;
   double long_lived_prob;
   uint64_t seed;
@@ -133,7 +134,7 @@ TEST_P(ExecutorOracleTest, MatchesReferenceJoin) {
   VtJoinOptions options;
   options.buffer_pages = c.buffer_pages;
   TEMPO_ASSERT_OK_AND_ASSIGN(JoinRunStats stats,
-                             c.run(r.get(), s.get(), &out, options));
+                             c.run(r.get(), s.get(), &out, options, nullptr));
 
   TEMPO_ASSERT_OK_AND_ASSIGN(
       std::vector<Tuple> expected,
