@@ -100,43 +100,74 @@ Status BitemporalRelation::Update(const Tuple& old_t, const Tuple& new_t,
   return Insert(new_t, now);
 }
 
-StatusOr<std::vector<Tuple>> BitemporalRelation::SnapshotAsOf(TxTime as_of) {
-  std::vector<Tuple> out;
+Status BitemporalRelation::ForEachCurrentVersion(
+    TxTime as_of, const std::function<Status(const TupleView&)>& fn) {
+  TEMPO_RETURN_IF_ERROR(store_->Flush());
+  const RecordLayout& layout = store_->schema().layout();
   const size_t n = user_schema_.num_attributes();
-  auto scan = store_->Scan();
-  Tuple stored;
-  while (true) {
-    TEMPO_ASSIGN_OR_RETURN(bool more, scan.Next(&stored));
-    if (!more) break;
-    TxTime tx_start = stored.value(n).AsInt64();
-    TxTime tx_end = stored.value(n + 1).AsInt64();
-    if (tx_start <= as_of && as_of <= tx_end) {
-      out.push_back(Tuple(std::vector<Value>(stored.values().begin(),
-                                             stored.values().begin() + n),
-                          stored.interval()));
+  for (uint32_t page_no = 0; page_no < store_->num_pages(); ++page_no) {
+    Page page;
+    TEMPO_RETURN_IF_ERROR(store_->ReadPage(page_no, &page));
+    for (uint16_t slot = 0; slot < page.num_records(); ++slot) {
+      std::string_view rec = page.GetRecord(slot);
+      TEMPO_ASSIGN_OR_RETURN(TupleView v,
+                             TupleView::Make(layout, rec.data(), rec.size()));
+      // The transaction bounds are read in place; most versions are
+      // filtered out here without ever decoding the user payload.
+      TxTime tx_start = v.Int64At(n);
+      TxTime tx_end = v.Int64At(n + 1);
+      if (tx_start <= as_of && as_of <= tx_end) {
+        TEMPO_RETURN_IF_ERROR(fn(v));
+      }
     }
   }
+  return Status::OK();
+}
+
+Tuple BitemporalRelation::UserTupleOf(const TupleView& stored) const {
+  const size_t n = user_schema_.num_attributes();
+  std::vector<Value> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) values.push_back(stored.ValueAt(i));
+  return Tuple(std::move(values), stored.interval());
+}
+
+StatusOr<std::vector<Tuple>> BitemporalRelation::SnapshotAsOf(TxTime as_of) {
+  std::vector<Tuple> out;
+  TEMPO_RETURN_IF_ERROR(
+      ForEachCurrentVersion(as_of, [&](const TupleView& v) -> Status {
+        out.push_back(UserTupleOf(v));
+        return Status::OK();
+      }));
   return out;
 }
 
 StatusOr<std::unique_ptr<StoredRelation>> BitemporalRelation::MaterializeAsOf(
     TxTime as_of, const std::string& name) {
-  TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> snapshot, SnapshotAsOf(as_of));
+  // Streams the snapshot straight into the output relation: one page of
+  // the store in memory at a time, never the whole snapshot vector.
   auto rel = std::make_unique<StoredRelation>(disk_, user_schema_, name);
-  TEMPO_RETURN_IF_ERROR(rel->AppendAll(snapshot));
+  TEMPO_RETURN_IF_ERROR(
+      ForEachCurrentVersion(as_of, [&](const TupleView& v) -> Status {
+        return rel->Append(UserTupleOf(v));
+      }));
+  TEMPO_RETURN_IF_ERROR(rel->Flush());
   return rel;
 }
 
 StatusOr<std::vector<Tuple>> BitemporalRelation::Timeslice(TxTime as_of,
                                                            Chronon vt) {
-  TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> snapshot, SnapshotAsOf(as_of));
   std::vector<Tuple> out;
-  for (Tuple& t : snapshot) {
-    if (t.interval().Contains(vt)) {
-      t.set_interval(Interval::At(vt));
-      out.push_back(std::move(t));
-    }
-  }
+  TEMPO_RETURN_IF_ERROR(
+      ForEachCurrentVersion(as_of, [&](const TupleView& v) -> Status {
+        // Valid-time filter on the view's interval; only passing
+        // versions materialize, already stamped with the slice instant.
+        if (!v.interval().Contains(vt)) return Status::OK();
+        Tuple t = UserTupleOf(v);
+        t.set_interval(Interval::At(vt));
+        out.push_back(std::move(t));
+        return Status::OK();
+      }));
   return out;
 }
 

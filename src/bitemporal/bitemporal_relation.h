@@ -1,12 +1,14 @@
 #ifndef TEMPO_BITEMPORAL_BITEMPORAL_RELATION_H_
 #define TEMPO_BITEMPORAL_BITEMPORAL_RELATION_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/statusor.h"
 #include "core/partition_join.h"
+#include "relation/tuple_view.h"
 #include "storage/stored_relation.h"
 
 namespace tempo {
@@ -94,6 +96,17 @@ class BitemporalRelation {
   /// Splits a stored tuple into (user tuple, tx_start, tx_end).
   void FromStored(const Tuple& stored, Tuple* user, TxTime* tx_start,
                   TxTime* tx_end) const;
+
+  /// Streams every version current at `as_of` as a zero-copy view over
+  /// the store's pages (one page in memory at a time, no full-relation
+  /// materialization). The transaction attributes are read in place; `fn`
+  /// materializes only the versions it keeps.
+  Status ForEachCurrentVersion(
+      TxTime as_of, const std::function<Status(const TupleView&)>& fn);
+
+  /// User-schema tuple of a stored version view (drops the two
+  /// transaction attributes).
+  Tuple UserTupleOf(const TupleView& stored) const;
 
   Status CheckClock(TxTime now);
 

@@ -2,15 +2,20 @@
 
 #include <algorithm>
 
+#include "relation/tuple_view.h"
+
 namespace tempo {
 
 namespace {
 
-/// One morsel of decoded-and-routed input: tuples in page order plus the
-/// partition range [first, last] each tuple lands in. Computed on workers;
-/// consumed (appended) by the coordinator in morsel order.
+/// One morsel of routed input: raw record bytes in page order (views into
+/// the coordinator's wave pages, which stay pinned until the wave's appends
+/// are replayed) plus the partition range [first, last] each record lands
+/// in. Computed on workers; consumed (appended) by the coordinator in
+/// morsel order. No Tuple is ever materialized — records are routed by
+/// interval, which a TupleView reads with two loads.
 struct RoutedMorsel {
-  std::vector<Tuple> tuples;
+  std::vector<std::string_view> records;
   std::vector<std::pair<uint32_t, uint32_t>> dests;
 };
 
@@ -50,12 +55,22 @@ StatusOr<PartitionedRelation> GracePartition(StoredRelation* input,
         name_prefix + ".part" + std::to_string(i)));
   }
 
-  auto append_routed = [&](const Tuple& t, uint32_t first,
+  const RecordLayout& layout = input->schema().layout();
+  auto route_of = [&](const TupleView& v) -> std::pair<uint32_t, uint32_t> {
+    Interval iv = v.interval();
+    uint32_t last = static_cast<uint32_t>(spec.LastOverlapping(iv));
+    uint32_t first = policy == PlacementPolicy::kLastOverlap
+                         ? last
+                         : static_cast<uint32_t>(spec.FirstOverlapping(iv));
+    return {first, last};
+  };
+  auto append_routed = [&](std::string_view record, uint32_t first,
                            uint32_t last) -> Status {
     for (uint32_t idx = first; idx <= last; ++idx) {
-      TEMPO_RETURN_IF_ERROR(result.parts[idx]->Append(t));
+      TEMPO_RETURN_IF_ERROR(result.parts[idx]->AppendRecord(record));
       ++result.tuples_written;
     }
+    ++result.records_routed_zero_copy;
     return Status::OK();
   };
 
@@ -86,29 +101,23 @@ StatusOr<PartitionedRelation> GracePartition(StoredRelation* input,
           [&](size_t m, size_t begin, size_t end) -> Status {
             RoutedMorsel& out = routed[m];
             for (size_t i = begin; i < end; ++i) {
-              TEMPO_ASSIGN_OR_RETURN(
-                  size_t added, StoredRelation::DecodePageAppend(
-                                    input->schema(), wave[i], &out.tuples));
-              (void)added;
-            }
-            out.dests.reserve(out.tuples.size());
-            for (const Tuple& t : out.tuples) {
-              uint32_t last = static_cast<uint32_t>(
-                  spec.LastOverlapping(t.interval()));
-              uint32_t first =
-                  policy == PlacementPolicy::kLastOverlap
-                      ? last
-                      : static_cast<uint32_t>(
-                            spec.FirstOverlapping(t.interval()));
-              out.dests.emplace_back(first, last);
+              const Page& page = wave[i];
+              for (uint16_t slot = 0; slot < page.num_records(); ++slot) {
+                std::string_view rec = page.GetRecord(slot);
+                TEMPO_ASSIGN_OR_RETURN(
+                    TupleView v,
+                    TupleView::Make(layout, rec.data(), rec.size()));
+                out.records.push_back(rec);
+                out.dests.push_back(route_of(v));
+              }
             }
             return Status::OK();
           },
           morsel_stats));
       for (const RoutedMorsel& m : routed) {
-        for (size_t i = 0; i < m.tuples.size(); ++i) {
+        for (size_t i = 0; i < m.records.size(); ++i) {
           TEMPO_RETURN_IF_ERROR(
-              append_routed(m.tuples[i], m.dests[i].first, m.dests[i].second));
+              append_routed(m.records[i], m.dests[i].first, m.dests[i].second));
         }
       }
     }
@@ -116,22 +125,17 @@ StatusOr<PartitionedRelation> GracePartition(StoredRelation* input,
     // One input page at a time; each StoredRelation buffers one output page
     // per partition and flushes it as it fills — the paper's "when the
     // pages for a given partition become filled they are flushed to disk".
-    std::vector<Tuple> decoded;
+    // Records are routed straight off the input page: the view reads the
+    // interval in place and the raw bytes are re-appended verbatim.
     for (uint32_t p = 0; p < pages; ++p) {
       Page page;
       TEMPO_RETURN_IF_ERROR(input->ReadPage(p, &page));
-      decoded.clear();
-      TEMPO_RETURN_IF_ERROR(
-          StoredRelation::DecodePageAppend(input->schema(), page, &decoded)
-              .status());
-      for (const Tuple& t : decoded) {
-        uint32_t last =
-            static_cast<uint32_t>(spec.LastOverlapping(t.interval()));
-        uint32_t first =
-            policy == PlacementPolicy::kLastOverlap
-                ? last
-                : static_cast<uint32_t>(spec.FirstOverlapping(t.interval()));
-        TEMPO_RETURN_IF_ERROR(append_routed(t, first, last));
+      for (uint16_t slot = 0; slot < page.num_records(); ++slot) {
+        std::string_view rec = page.GetRecord(slot);
+        TEMPO_ASSIGN_OR_RETURN(TupleView v,
+                               TupleView::Make(layout, rec.data(), rec.size()));
+        auto [first, last] = route_of(v);
+        TEMPO_RETURN_IF_ERROR(append_routed(rec, first, last));
       }
     }
   }

@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "relation/tuple_view.h"
+
 #include "core/determine_part_intervals.h"
 #include "core/grace_partitioner.h"
 #include "temporal/interval_set.h"
@@ -10,11 +12,14 @@ namespace tempo {
 
 namespace {
 
-/// Value-equivalence key: the serialized explicit attributes.
-std::string ValueKey(const Tuple& t) {
+/// Value-equivalence key: the serialized explicit attributes. Built from
+/// the record view through the same Value::ToString per attribute, so the
+/// key bytes — and hence the std::map iteration (output) order — are
+/// identical to keying the decoded tuple.
+std::string ValueKey(const TupleView& v) {
   std::string key;
-  for (const Value& v : t.values()) {
-    key += v.ToString();
+  for (size_t i = 0; i < v.num_values(); ++i) {
+    key += v.ValueAt(i).ToString();
     key.push_back('\x1f');
   }
   return key;
@@ -24,6 +29,15 @@ struct Group {
   std::vector<Value> values;
   std::vector<Interval> intervals;
 };
+
+/// Owning values of one record, materialized only when its group is first
+/// seen.
+std::vector<Value> MaterializeValues(const TupleView& v) {
+  std::vector<Value> out;
+  out.reserve(v.num_values());
+  for (size_t i = 0; i < v.num_values(); ++i) out.push_back(v.ValueAt(i));
+  return out;
+}
 
 }  // namespace
 
@@ -65,6 +79,24 @@ StatusOr<JoinRunStats> PartitionCoalesce(StoredRelation* in,
 
   JoinRunStats stats;
   uint64_t carried_runs = 0;
+  uint64_t views_folded = 0;
+  const RecordLayout& layout = in->schema().layout();
+
+  // Folds every record on `page` into `groups`, viewing each in place;
+  // owning values materialize only when a group is first seen.
+  auto fold_page = [&](const Page& page,
+                       std::map<std::string, Group>& groups) -> Status {
+    for (uint16_t slot = 0; slot < page.num_records(); ++slot) {
+      std::string_view rec = page.GetRecord(slot);
+      TEMPO_ASSIGN_OR_RETURN(TupleView v,
+                             TupleView::Make(layout, rec.data(), rec.size()));
+      ++views_folded;
+      Group& g = groups[ValueKey(v)];
+      if (g.values.empty()) g.values = MaterializeValues(v);
+      g.intervals.push_back(v.interval());
+    }
+    return Status::OK();
+  };
 
   // Helper shared by the single- and multi-partition paths: merge one
   // bucket of tuples and split the merged runs into emitted / carried.
@@ -91,16 +123,13 @@ StatusOr<JoinRunStats> PartitionCoalesce(StoredRelation* in,
   };
 
   if (plan.num_partitions <= 1) {
-    // Fits in memory: one pass.
+    // Fits in memory: one pass over the input pages, folding records in
+    // place (same page-read sequence as the scanner it replaces).
     std::map<std::string, Group> groups;
-    auto scan = in->Scan();
-    Tuple t;
-    while (true) {
-      TEMPO_ASSIGN_OR_RETURN(bool more, scan.Next(&t));
-      if (!more) break;
-      Group& g = groups[ValueKey(t)];
-      if (g.values.empty()) g.values = t.values();
-      g.intervals.push_back(t.interval());
+    for (uint32_t p = 0; p < in->num_pages(); ++p) {
+      Page page;
+      TEMPO_RETURN_IF_ERROR(in->ReadPage(p, &page));
+      TEMPO_RETURN_IF_ERROR(fold_page(page, groups));
     }
     for (auto& [key, group] : groups) {
       TEMPO_RETURN_IF_ERROR(process_group(group, Interval::All(),
@@ -111,6 +140,7 @@ StatusOr<JoinRunStats> PartitionCoalesce(StoredRelation* in,
         PartitionedRelation parts,
         GracePartition(in, plan.spec, options.buffer_pages,
                        PlacementPolicy::kLastOverlap, in->name() + ".co"));
+    views_folded += parts.records_routed_zero_copy;
 
     std::map<std::string, Group> carry;
     const size_t n = plan.spec.num_partitions();
@@ -124,14 +154,7 @@ StatusOr<JoinRunStats> PartitionCoalesce(StoredRelation* in,
       for (uint32_t p = 0; p < part->num_pages(); ++p) {
         Page page;
         TEMPO_RETURN_IF_ERROR(part->ReadPage(p, &page));
-        std::vector<Tuple> decoded;
-        TEMPO_RETURN_IF_ERROR(
-            StoredRelation::DecodePage(in->schema(), page, &decoded));
-        for (Tuple& t : decoded) {
-          Group& g = groups[ValueKey(t)];
-          if (g.values.empty()) g.values = t.values();
-          g.intervals.push_back(t.interval());
-        }
+        TEMPO_RETURN_IF_ERROR(fold_page(page, groups));
       }
       for (auto& [key, group] : groups) {
         TEMPO_RETURN_IF_ERROR(
@@ -146,6 +169,8 @@ StatusOr<JoinRunStats> PartitionCoalesce(StoredRelation* in,
   stats.output_tuples = out->num_tuples();
   stats.Set(Metric::kPartitions, static_cast<double>(plan.num_partitions));
   stats.Set(Metric::kCarriedRuns, static_cast<double>(carried_runs));
+  stats.Set(Metric::kDecodeMaterializationsAvoided,
+            static_cast<double>(views_folded));
   ExportMetrics(stats, ctx);
   return stats;
 }

@@ -91,39 +91,46 @@ struct ProbeContext {
   TupleCache* retain_cache = nullptr;
 };
 
-/// Invokes `fn(x, overlap)` for every pair the probe tuple `y` must emit,
-/// in index iteration order (deterministic for a fixed index build).
+/// Invokes `fn(x, overlap)` for every pair the probe record view `y` must
+/// emit, in index iteration order (deterministic for a fixed index build —
+/// the view hashes bit-compatibly with the tuple it would decode into, so
+/// the bucket walk matches the owning-tuple probe exactly).
 template <typename Fn>
 void ForEachEmission(const ProbeContext& ctx, const HashedTupleIndex& index,
-                     const Tuple& y, Fn&& fn) {
+                     const TupleView& y, Fn&& fn) {
+  const Interval y_iv = y.interval();
   index.ForEachMatch(y, ctx.layout->s_join_attrs, [&](const Tuple& x) {
-    auto common = Overlap(x.interval(), y.interval());
+    auto common = Overlap(x.interval(), y_iv);
     if (!common) return;
     if (ctx.dedup_interval != nullptr &&
         !ctx.dedup_interval->Contains(common->end())) {
       return;
     }
-    if (!EvalIntervalPredicate(ctx.predicate, x.interval(), y.interval())) {
+    if (!EvalIntervalPredicate(ctx.predicate, x.interval(), y_iv)) {
       return;
     }
     fn(x, *common);
   });
 }
 
-/// Streams probe-side input — raw inner pages and pre-decoded tuple-cache
-/// batches — against a read-only hash index.
+/// Streams probe-side input — raw inner pages and tuple-cache views —
+/// against a read-only hash index. Every probe runs on a zero-copy
+/// TupleView: pages are pinned in a PageTupleArena and their records
+/// hashed/compared in place; cache records are probed as views over the
+/// cache's own memory. Owning Tuples are materialized only for emitted
+/// results (and as serialized bytes for retained records).
 ///
-/// Serial mode (no pool): each batch is decoded and probed inline, in
+/// Serial mode (no pool): each batch is viewed and probed inline, in
 /// arrival order, emitting directly — byte-for-byte the original
 /// tuple-at-a-time loop.
 ///
 /// Parallel mode: the coordinator keeps reading pages (all charged I/O
 /// stays on the calling thread, in stream order) while accumulated batches
-/// fan out to pool workers, which decode into a per-worker arena, probe,
-/// and buffer assembled result tuples. After each wave the coordinator
-/// appends the per-batch buffers in batch order, so the output relation
-/// and the next cache generation receive tuples in exactly the serial
-/// order.
+/// fan out to pool workers, which pin pages into a per-worker arena, probe
+/// views, and buffer assembled result tuples. After each wave the
+/// coordinator appends the per-batch buffers in batch order, so the output
+/// relation and the next cache generation receive tuples in exactly the
+/// serial order.
 class ProbeStream {
  public:
   ProbeStream(const ProbeContext& ctx, const HashedTupleIndex* index,
@@ -139,19 +146,21 @@ class ProbeStream {
   ProbeStream(const ProbeStream&) = delete;
   ProbeStream& operator=(const ProbeStream&) = delete;
 
-  /// Streams one raw inner page (decoded on a worker in parallel mode).
+  /// Streams one raw inner page (pinned and viewed on a worker in parallel
+  /// mode).
   Status AddPage(const Page& page, bool allow_retain) {
+    views_probed_ += page.num_records();
     if (wave_limit_ == 0) {
-      arena_.clear();
+      arena_.Clear();
       TEMPO_RETURN_IF_ERROR(
-          StoredRelation::DecodePageAppend(*ctx_.inner_schema, page, &arena_)
+          StoredRelation::DecodePageViews(*ctx_.inner_schema, page, &arena_)
               .status());
-      for (const Tuple& y : arena_) {
+      for (const TupleView& y : arena_.views()) {
         TEMPO_RETURN_IF_ERROR(ProbeOneSerial(y, allow_retain));
       }
       return Status::OK();
     }
-    if (!wave_.empty() && wave_.back().tuples.empty() &&
+    if (!wave_.empty() && wave_.back().views.empty() &&
         wave_.back().allow_retain == allow_retain &&
         wave_.back().pages.size() < batch_pages_) {
       wave_.back().pages.push_back(page);
@@ -163,16 +172,18 @@ class ProbeStream {
     return PushBatch(std::move(b));
   }
 
-  /// Streams pre-decoded probe tuples (the tuple cache's pages).
-  Status AddTuples(std::vector<Tuple> tuples, bool allow_retain) {
+  /// Streams probe views over storage that outlives the stream (the tuple
+  /// cache's in-memory records).
+  Status AddViews(const std::vector<TupleView>& views, bool allow_retain) {
+    views_probed_ += views.size();
     if (wave_limit_ == 0) {
-      for (const Tuple& y : tuples) {
+      for (const TupleView& y : views) {
         TEMPO_RETURN_IF_ERROR(ProbeOneSerial(y, allow_retain));
       }
       return Status::OK();
     }
     Batch b;
-    b.tuples = std::move(tuples);
+    b.views = views;
     b.allow_retain = allow_retain;
     return PushBatch(std::move(b));
   }
@@ -180,24 +191,30 @@ class ProbeStream {
   /// Drains any pending parallel wave. Must be called before destruction.
   Status Finish() { return FlushWave(); }
 
+  /// Records probed as views (no owning decode); feeds the
+  /// decode_materializations_avoided metric.
+  uint64_t views_probed() const { return views_probed_; }
+
  private:
   struct Batch {
-    std::vector<Page> pages;    // raw pages, decoded on the worker…
-    std::vector<Tuple> tuples;  // …or tuples decoded by the coordinator
+    std::vector<Page> pages;      // raw pages, pinned+viewed on the worker…
+    std::vector<TupleView> views;  // …or views into stable cache memory
     bool allow_retain = false;
   };
   struct BatchResult {
-    std::vector<Tuple> results;   // assembled output tuples, emission order
-    std::vector<Tuple> retained;  // tuples for the next cache generation
+    std::vector<Tuple> results;  // assembled output tuples, emission order
+    // Raw record bytes for the next cache generation (views into the
+    // worker's arena die with the wave, so the bytes are copied out).
+    std::vector<std::string> retained;
   };
 
-  bool WantsRetention(const Tuple& y, bool allow_retain) const {
+  bool WantsRetention(const TupleView& y, bool allow_retain) const {
     return allow_retain && ctx_.retain_cache != nullptr &&
            ctx_.retain_interval != nullptr &&
            y.interval().Overlaps(*ctx_.retain_interval);
   }
 
-  Status ProbeOneSerial(const Tuple& y, bool allow_retain) {
+  Status ProbeOneSerial(const TupleView& y, bool allow_retain) {
     Status status = Status::OK();
     ForEachEmission(ctx_, *index_, y,
                     [&](const Tuple& x, const Interval& common) {
@@ -206,7 +223,7 @@ class ProbeStream {
                     });
     TEMPO_RETURN_IF_ERROR(status);
     if (WantsRetention(y, allow_retain)) {
-      TEMPO_RETURN_IF_ERROR(ctx_.retain_cache->Add(y));
+      TEMPO_RETURN_IF_ERROR(ctx_.retain_cache->AddRecord(y.record()));
     }
     return Status::OK();
   }
@@ -217,26 +234,28 @@ class ProbeStream {
     return Status::OK();
   }
 
-  /// Worker side: decode (if needed) and probe one batch into `out`.
+  /// Worker side: pin+view (if needed) and probe one batch into `out`.
   Status ProbeBatchWorker(const Batch& b, BatchResult* out) const {
-    thread_local std::vector<Tuple> arena;
-    const std::vector<Tuple>* src = &b.tuples;
+    thread_local PageTupleArena arena;
+    const std::vector<TupleView>* src = &b.views;
     if (!b.pages.empty()) {
-      arena.clear();
+      arena.Clear();
       for (const Page& p : b.pages) {
         TEMPO_RETURN_IF_ERROR(
-            StoredRelation::DecodePageAppend(*ctx_.inner_schema, p, &arena)
+            StoredRelation::DecodePageViews(*ctx_.inner_schema, p, &arena)
                 .status());
       }
-      src = &arena;
+      src = &arena.views();
     }
-    for (const Tuple& y : *src) {
+    for (const TupleView& y : *src) {
       ForEachEmission(ctx_, *index_, y,
                       [&](const Tuple& x, const Interval& common) {
                         out->results.push_back(
                             MakeJoinTuple(*ctx_.layout, x, y, common));
                       });
-      if (WantsRetention(y, b.allow_retain)) out->retained.push_back(y);
+      if (WantsRetention(y, b.allow_retain)) {
+        out->retained.emplace_back(y.record());
+      }
     }
     return Status::OK();
   }
@@ -257,8 +276,8 @@ class ProbeStream {
       for (const Tuple& t : r.results) {
         TEMPO_RETURN_IF_ERROR(ctx_.writer->EmitAssembled(t));
       }
-      for (const Tuple& y : r.retained) {
-        TEMPO_RETURN_IF_ERROR(ctx_.retain_cache->Add(y));
+      for (const std::string& rec : r.retained) {
+        TEMPO_RETURN_IF_ERROR(ctx_.retain_cache->AddRecord(rec));
       }
     }
     wave_.clear();
@@ -272,7 +291,8 @@ class ProbeStream {
   uint32_t batch_pages_ = 1;
   size_t wave_limit_ = 0;  // 0 = serial
   std::vector<Batch> wave_;
-  std::vector<Tuple> arena_;  // serial decode arena, reused across pages
+  PageTupleArena arena_;  // serial pin+view arena, cleared per page
+  uint64_t views_probed_ = 0;
 };
 
 }  // namespace
@@ -330,6 +350,7 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
   uint64_t cache_pages_spilled = 0;
   uint64_t cache_tuples = 0;
   uint64_t overflow_chunks = 0;
+  uint64_t views_probed = 0;
   MorselStats probe_stats;
 
   // Computation proceeds from r_n |X| s_n down to r_1 |X| s_1. The
@@ -407,16 +428,17 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
       ctx.retain_cache = &next_gen;
       ProbeStream stream(ctx, index, pool, parallel, &probe_stats);
 
-      // 2. Join with the in-memory cache page of the consumed generation.
+      // 2. Join with the in-memory cache page of the consumed generation,
+      //    probing its records in place.
       const bool retain = first_chunk && has_prev;
       if (migrate) {
-        TEMPO_RETURN_IF_ERROR(
-            stream.AddTuples(cache.memory_tuples(), retain));
-        // 3. Join with each spilled page of the consumed generation.
+        TEMPO_RETURN_IF_ERROR(stream.AddViews(cache.memory_views(), retain));
+        // 3. Join with each spilled page of the consumed generation (read
+        //    raw; records are viewed, never decoded).
         for (uint32_t c = 0; c < cache.spilled_pages(); ++c) {
-          TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> cached,
-                                 cache.ReadSpilledPage(c));
-          TEMPO_RETURN_IF_ERROR(stream.AddTuples(std::move(cached), retain));
+          Page cached;
+          TEMPO_RETURN_IF_ERROR(cache.ReadSpilledPageRaw(c, &cached));
+          TEMPO_RETURN_IF_ERROR(stream.AddPage(cached, retain));
         }
       }
 
@@ -431,6 +453,7 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
         }
       }
       TEMPO_RETURN_IF_ERROR(stream.Finish());
+      views_probed += stream.views_probed();
       if (total == 0) break;
     }
 
@@ -449,6 +472,8 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
             static_cast<double>(cache_pages_spilled));
   stats.Set(Metric::kCacheTuples, static_cast<double>(cache_tuples));
   stats.Set(Metric::kOverflowChunks, static_cast<double>(overflow_chunks));
+  stats.Set(Metric::kDecodeMaterializationsAvoided,
+            static_cast<double>(views_probed));
   if (parallel.enabled()) {
     stats.Set(Metric::kMorselsDispatched,
               static_cast<double>(probe_stats.morsels_dispatched));
@@ -545,6 +570,8 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
     TEMPO_RETURN_IF_ERROR(writer.Finish());
     fast_span.AddMorsels(total_morsels);
     stats.output_tuples = writer.count();
+    stats.Set(Metric::kDecodeMaterializationsAvoided,
+              static_cast<double>(stream.views_probed()));
   } else {
     // Phase 2: Grace-partition both inputs with the same intervals. With a
     // pool, r and s are partitioned concurrently — each input has its own
@@ -605,6 +632,9 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
     stats.output_tuples = join_stats.output_tuples;
     stats.metrics.Merge(join_stats.metrics);
     for (const auto& [k, v] : join_stats.details) stats.details[k] = v;
+    stats.Add(Metric::kDecodeMaterializationsAvoided,
+              static_cast<double>(pr.records_routed_zero_copy +
+                                  ps.records_routed_zero_copy));
     pr.Drop();
     ps.Drop();
   }

@@ -16,26 +16,45 @@ TupleCache::TupleCache(Disk* disk, const Schema& schema, std::string name,
       memory_pages_(memory_pages == 0 ? 1 : memory_pages) {}
 
 Status TupleCache::Add(const Tuple& t) {
-  size_t bytes = t.SerializedSize(schema_) + kSlotOverhead;
+  std::string record;
+  t.SerializeTo(schema_, &record);
+  return AddRecord(record);
+}
+
+Status TupleCache::AddRecord(std::string_view record) {
+  size_t bytes = record.size() + kSlotOverhead;
   if (memory_bytes_ + bytes > kPagePayload * memory_pages_ &&
-      !memory_.empty()) {
+      !memory_records_.empty()) {
     // The in-memory cache area is full: flush it to the spill file and
-    // start afresh.
+    // start afresh. This invalidates outstanding memory views — spills
+    // only happen while a generation is being *built*; the consumption
+    // pass never adds to the generation it probes.
     if (spill_ == nullptr) {
       spill_ = std::make_unique<StoredRelation>(disk_, schema_,
                                                 name_ + ".cache");
     }
-    for (const Tuple& cached : memory_) {
-      TEMPO_RETURN_IF_ERROR(spill_->Append(cached));
+    for (const std::string& cached : memory_records_) {
+      TEMPO_RETURN_IF_ERROR(spill_->AppendRecord(cached));
     }
     TEMPO_RETURN_IF_ERROR(spill_->Flush());
-    memory_.clear();
+    memory_records_.clear();
+    memory_views_.clear();
     memory_bytes_ = 0;
   }
-  memory_.push_back(t);
+  memory_records_.emplace_back(record);
+  const std::string& pinned = memory_records_.back();
+  memory_views_.push_back(
+      TupleView::Trusted(schema_.layout(), pinned.data(), pinned.size()));
   memory_bytes_ += bytes;
   ++total_tuples_;
   return Status::OK();
+}
+
+std::vector<Tuple> TupleCache::memory_tuples() const {
+  std::vector<Tuple> out;
+  out.reserve(memory_views_.size());
+  for (const TupleView& v : memory_views_) out.push_back(v.Materialize());
+  return out;
 }
 
 StatusOr<std::vector<Tuple>> TupleCache::ReadSpilledPage(uint32_t page_no) {
@@ -43,12 +62,18 @@ StatusOr<std::vector<Tuple>> TupleCache::ReadSpilledPage(uint32_t page_no) {
   return spill_->ReadPageTuples(page_no);
 }
 
+Status TupleCache::ReadSpilledPageRaw(uint32_t page_no, Page* out) {
+  TEMPO_CHECK(spill_ != nullptr);
+  return spill_->ReadPage(page_no, out);
+}
+
 Status TupleCache::Discard() {
   if (spill_ != nullptr) {
     TEMPO_RETURN_IF_ERROR(disk_->DeleteFile(spill_->file_id()));
     spill_.reset();
   }
-  memory_.clear();
+  memory_records_.clear();
+  memory_views_.clear();
   memory_bytes_ = 0;
   total_tuples_ = 0;
   return Status::OK();

@@ -1,11 +1,13 @@
 #ifndef TEMPO_CORE_TUPLE_CACHE_H_
 #define TEMPO_CORE_TUPLE_CACHE_H_
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/statusor.h"
+#include "relation/tuple_view.h"
 #include "storage/stored_relation.h"
 
 namespace tempo {
@@ -23,6 +25,12 @@ namespace tempo {
 /// This is how the algorithm keeps every long-lived tuple available in
 /// every partition it overlaps *without replicating it in the base
 /// relation files* — the paper's central storage-saving device.
+///
+/// The in-memory area holds *serialized records* (a deque of strings, so
+/// addresses are stable as the cache grows) and hands out zero-copy
+/// TupleViews over them: retaining a probe-side view copies only the raw
+/// record bytes, and consuming the generation probes the views in place —
+/// no Tuple is materialized on either side of the cache.
 class TupleCache {
  public:
   /// Creates an empty generation holding up to `memory_pages` pages of
@@ -39,16 +47,30 @@ class TupleCache {
   /// Retains a tuple into this generation. Spills a full page to disk.
   Status Add(const Tuple& t);
 
-  /// Tuples still in the in-memory page (never spilled).
-  const std::vector<Tuple>& memory_tuples() const { return memory_; }
+  /// Retains an already-serialized record (e.g. TupleView::record()) —
+  /// the zero-copy retention path; only the record bytes are copied.
+  Status AddRecord(std::string_view record);
+
+  /// Views over the records still in the in-memory area (never spilled),
+  /// in retention order. Valid until the cache spills, is discarded, or is
+  /// destroyed; moving the cache preserves them.
+  const std::vector<TupleView>& memory_views() const { return memory_views_; }
+
+  /// Materialized copies of the in-memory records (tests and diagnostics;
+  /// the hot path probes memory_views() instead).
+  std::vector<Tuple> memory_tuples() const;
 
   /// Number of spilled pages on disk.
   uint32_t spilled_pages() const {
     return spill_ == nullptr ? 0 : spill_->num_pages();
   }
 
-  /// Reads back one spilled page (charged I/O).
+  /// Reads back one spilled page (charged I/O) and decodes it.
   StatusOr<std::vector<Tuple>> ReadSpilledPage(uint32_t page_no);
+
+  /// Reads back one spilled page (charged I/O) without decoding; callers
+  /// pin it in a PageTupleArena and probe views.
+  Status ReadSpilledPageRaw(uint32_t page_no, Page* out);
 
   /// Total tuples in this generation.
   uint64_t num_tuples() const { return total_tuples_; }
@@ -61,7 +83,10 @@ class TupleCache {
   Schema schema_;
   std::string name_;
   uint32_t memory_pages_;
-  std::vector<Tuple> memory_;
+  // Serialized records; deque growth never moves existing elements, so
+  // views into them stay valid until the next spill or Discard().
+  std::deque<std::string> memory_records_;
+  std::vector<TupleView> memory_views_;
   size_t memory_bytes_ = 0;
   std::unique_ptr<StoredRelation> spill_;
   uint64_t total_tuples_ = 0;

@@ -1,8 +1,37 @@
 #include "incremental/materialized_view.h"
 
+#include <functional>
+
 #include "core/determine_part_intervals.h"
+#include "relation/tuple_view.h"
 
 namespace tempo {
+
+namespace {
+
+/// Streams the visible records of one side of a partition — its
+/// partition file followed by its cache file, the same page order
+/// VisibleTuples materializes — as zero-copy views, one page in memory
+/// at a time.
+Status ForEachVisibleView(StoredRelation* part, StoredRelation* cache,
+                          const std::function<Status(const TupleView&)>& fn) {
+  const RecordLayout& layout = part->schema().layout();
+  for (StoredRelation* rel : {part, cache}) {
+    for (uint32_t p = 0; p < rel->num_pages(); ++p) {
+      Page page;
+      TEMPO_RETURN_IF_ERROR(rel->ReadPage(p, &page));
+      for (uint16_t slot = 0; slot < page.num_records(); ++slot) {
+        std::string_view rec = page.GetRecord(slot);
+        TEMPO_ASSIGN_OR_RETURN(
+            TupleView v, TupleView::Make(layout, rec.data(), rec.size()));
+        TEMPO_RETURN_IF_ERROR(fn(v));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 MaterializedVtJoinView::MaterializedVtJoinView(Disk* disk, std::string name)
     : disk_(disk), name_(std::move(name)) {
@@ -104,21 +133,24 @@ Status MaterializedVtJoinView::RecomputePartitionResult(size_t i) {
   TEMPO_RETURN_IF_ERROR(results_[i]->Clear());
   TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> r_tuples,
                          VisibleTuples(r_side_, i));
-  TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> s_tuples,
-                         VisibleTuples(s_side_, i));
   const Interval& p_i = spec_.partition(i);
   HashedTupleIndex index(&r_tuples, &layout_.r_join_attrs);
-  Status status = Status::OK();
-  for (const Tuple& y : s_tuples) {
-    index.ForEachMatch(y, layout_.s_join_attrs, [&](const Tuple& x) {
-      if (!status.ok()) return;
-      auto common = Overlap(x.interval(), y.interval());
-      if (!common) return;
-      if (!p_i.Contains(common->end())) return;  // exactly-once rule
-      status = results_[i]->Append(MakeJoinTuple(layout_, x, y, *common));
-    });
-    TEMPO_RETURN_IF_ERROR(status);
-  }
+  // Probe side streams as page-backed views in the same order
+  // VisibleTuples would produce; only emitted results build tuples.
+  TEMPO_RETURN_IF_ERROR(ForEachVisibleView(
+      s_side_.parts[i].get(), s_side_.caches[i].get(),
+      [&](const TupleView& y) -> Status {
+        Status status = Status::OK();
+        const Interval y_iv = y.interval();
+        index.ForEachMatch(y, layout_.s_join_attrs, [&](const Tuple& x) {
+          if (!status.ok()) return;
+          auto common = Overlap(x.interval(), y_iv);
+          if (!common) return;
+          if (!p_i.Contains(common->end())) return;  // exactly-once rule
+          status = results_[i]->Append(MakeJoinTuple(layout_, x, y, *common));
+        });
+        return status;
+      }));
   TEMPO_RETURN_IF_ERROR(results_[i]->Flush());
   result_tuples_ += results_[i]->num_tuples();
   return Status::OK();

@@ -12,6 +12,74 @@ bool TupleVsLess(const Tuple& a, const Tuple& b) {
   return IntervalStartLess()(a.interval(), b.interval());
 }
 
+bool ViewVsLess(const TupleView& a, const TupleView& b) {
+  return IntervalStartLess()(a.interval(), b.interval());
+}
+
+/// One memory-sized chunk of input pinned as views: run formation sorts
+/// the views (same comparator, so stable_sort yields the same permutation
+/// as sorting the decoded tuples) and writes the raw record bytes back.
+struct ViewChunk {
+  PageTupleArena arena;
+  std::vector<TupleView> views;
+
+  void Clear() {
+    arena.Clear();
+    views.clear();
+  }
+
+  Status Load(StoredRelation* input, uint32_t first_page, uint32_t end_page) {
+    Clear();
+    for (uint32_t p = first_page; p < end_page; ++p) {
+      Page page;
+      TEMPO_RETURN_IF_ERROR(input->ReadPage(p, &page));
+      TEMPO_RETURN_IF_ERROR(
+          StoredRelation::DecodePageViews(input->schema(), page, &arena)
+              .status());
+    }
+    views = arena.views();
+    return Status::OK();
+  }
+
+  Status WriteRun(StoredRelation* run) const {
+    for (const TupleView& v : views) {
+      TEMPO_RETURN_IF_ERROR(run->AppendRecord(v.record()));
+    }
+    return run->Flush();
+  }
+};
+
+/// Appends sorted views to `out`, recording per-page metadata by mirroring
+/// the relation's pagination (the view twin of AppendWithMeta below).
+Status AppendViewsWithMeta(StoredRelation* out,
+                           const std::vector<TupleView>& views,
+                           std::vector<SortedPageMeta>* meta) {
+  uint32_t pages_before = out->num_pages();
+  SortedPageMeta current{0, 0, 0};
+  bool have_current = false;
+  for (const TupleView& v : views) {
+    TEMPO_RETURN_IF_ERROR(out->AppendRecord(v.record()));
+    uint32_t pages_now = out->num_pages();
+    if (pages_now != pages_before) {
+      if (have_current) meta->push_back(current);
+      have_current = false;
+      pages_before = pages_now;
+    }
+    const Interval iv = v.interval();
+    if (!have_current) {
+      current = SortedPageMeta{iv.start(), iv.start(), iv.end()};
+      have_current = true;
+    } else {
+      current.min_vs = std::min(current.min_vs, iv.start());
+      current.max_vs = std::max(current.max_vs, iv.start());
+      current.max_ve = std::max(current.max_ve, iv.end());
+    }
+  }
+  TEMPO_RETURN_IF_ERROR(out->Flush());
+  if (have_current) meta->push_back(current);
+  return Status::OK();
+}
+
 /// Reads one run (a Vs-sorted relation) through a multi-page input buffer:
 /// each refill fetches `buffer_pages` consecutive pages (1 random +
 /// (c-1) sequential I/Os).
@@ -122,36 +190,6 @@ Status MergeRuns(std::vector<std::unique_ptr<StoredRelation>>& runs,
   return Status::OK();
 }
 
-/// Appends `tuples` to `out`, recording per-page metadata by mirroring the
-/// relation's pagination.
-Status AppendWithMeta(StoredRelation* out, const std::vector<Tuple>& tuples,
-                      std::vector<SortedPageMeta>* meta) {
-  uint32_t pages_before = out->num_pages();
-  SortedPageMeta current{0, 0, 0};
-  bool have_current = false;
-  for (const Tuple& t : tuples) {
-    TEMPO_RETURN_IF_ERROR(out->Append(t));
-    uint32_t pages_now = out->num_pages();
-    if (pages_now != pages_before) {
-      if (have_current) meta->push_back(current);
-      have_current = false;
-      pages_before = pages_now;
-    }
-    const Interval& iv = t.interval();
-    if (!have_current) {
-      current = SortedPageMeta{iv.start(), iv.start(), iv.end()};
-      have_current = true;
-    } else {
-      current.min_vs = std::min(current.min_vs, iv.start());
-      current.max_vs = std::max(current.max_vs, iv.start());
-      current.max_ve = std::max(current.max_ve, iv.end());
-    }
-  }
-  TEMPO_RETURN_IF_ERROR(out->Flush());
-  if (have_current) meta->push_back(current);
-  return Status::OK();
-}
-
 }  // namespace
 
 StatusOr<SortedRelation> ExternalSortByVs(StoredRelation* input,
@@ -170,21 +208,18 @@ StatusOr<SortedRelation> ExternalSortByVs(StoredRelation* input,
 
   uint32_t pages = input->num_pages();
 
-  // Whole input fits in memory: one read pass, sort, one write pass.
+  // Whole input fits in memory: one read pass, sort the views in place,
+  // one write pass of the raw record bytes.
   if (pages <= buffer_pages) {
-    std::vector<Tuple> all;
-    for (uint32_t p = 0; p < pages; ++p) {
-      Page page;
-      TEMPO_RETURN_IF_ERROR(input->ReadPage(p, &page));
-      TEMPO_RETURN_IF_ERROR(
-          StoredRelation::DecodePage(input->schema(), page, &all));
-    }
-    std::stable_sort(all.begin(), all.end(), TupleVsLess);
+    ViewChunk all;
+    TEMPO_RETURN_IF_ERROR(all.Load(input, 0, pages));
+    std::stable_sort(all.views.begin(), all.views.end(), ViewVsLess);
     SortedRelation result;
     result.relation =
         std::make_unique<StoredRelation>(disk, input->schema(), output_name);
-    TEMPO_RETURN_IF_ERROR(
-        AppendWithMeta(result.relation.get(), all, &result.page_meta));
+    TEMPO_RETURN_IF_ERROR(AppendViewsWithMeta(result.relation.get(),
+                                              all.views, &result.page_meta));
+    result.records_sorted_zero_copy = all.views.size();
     TEMPO_CHECK(result.page_meta.size() == result.relation->num_pages());
     return result;
   }
@@ -196,12 +231,19 @@ StatusOr<SortedRelation> ExternalSortByVs(StoredRelation* input,
     pool = local_pool.get();
   }
   std::vector<std::unique_ptr<StoredRelation>> runs;
+  uint64_t run_records = 0;
   if (parallel.enabled() && pool != nullptr) {
     // The coordinator reads a wave of chunks (input pages in scan order),
-    // workers sort them, and the runs are written back in chunk order —
-    // same run files and per-file I/O sequences as the serial pass.
+    // workers sort their views, and the runs are written back in chunk
+    // order — same run files and per-file I/O sequences as the serial
+    // pass. Each chunk's pages stay pinned in its arena until its run is
+    // written.
     const uint32_t wave_chunks = std::max<uint32_t>(1, parallel.num_threads);
-    std::vector<std::vector<Tuple>> chunks(wave_chunks);
+    std::vector<std::unique_ptr<ViewChunk>> chunks;
+    chunks.reserve(wave_chunks);
+    for (uint32_t c = 0; c < wave_chunks; ++c) {
+      chunks.push_back(std::make_unique<ViewChunk>());
+    }
     for (uint32_t start = 0; start < pages;
          start += buffer_pages * wave_chunks) {
       uint32_t in_wave = 0;
@@ -209,22 +251,15 @@ StatusOr<SortedRelation> ExternalSortByVs(StoredRelation* input,
         uint32_t cs = start + in_wave * buffer_pages;
         if (cs >= pages) break;
         uint32_t ce = std::min(pages, cs + buffer_pages);
-        chunks[in_wave].clear();
-        for (uint32_t p = cs; p < ce; ++p) {
-          Page page;
-          TEMPO_RETURN_IF_ERROR(input->ReadPage(p, &page));
-          TEMPO_RETURN_IF_ERROR(
-              StoredRelation::DecodePage(input->schema(), page,
-                                         &chunks[in_wave]));
-        }
+        TEMPO_RETURN_IF_ERROR(chunks[in_wave]->Load(input, cs, ce));
       }
       TEMPO_RETURN_IF_ERROR(ParallelFor(
           pool, in_wave, 1,
           [&](size_t m, size_t begin, size_t end) -> Status {
             (void)m;
             (void)end;
-            std::stable_sort(chunks[begin].begin(), chunks[begin].end(),
-                             TupleVsLess);
+            std::stable_sort(chunks[begin]->views.begin(),
+                             chunks[begin]->views.end(), ViewVsLess);
             return Status::OK();
           },
           morsel_stats));
@@ -232,26 +267,22 @@ StatusOr<SortedRelation> ExternalSortByVs(StoredRelation* input,
         auto run = std::make_unique<StoredRelation>(
             disk, input->schema(),
             output_name + ".run" + std::to_string(runs.size()));
-        TEMPO_RETURN_IF_ERROR(run->AppendAll(chunks[c]));
+        TEMPO_RETURN_IF_ERROR(chunks[c]->WriteRun(run.get()));
+        run_records += chunks[c]->views.size();
         runs.push_back(std::move(run));
       }
     }
   } else {
-    std::vector<Tuple> chunk;
+    ViewChunk chunk;
     for (uint32_t start = 0; start < pages; start += buffer_pages) {
       uint32_t end = std::min(pages, start + buffer_pages);
-      chunk.clear();
-      for (uint32_t p = start; p < end; ++p) {
-        Page page;
-        TEMPO_RETURN_IF_ERROR(input->ReadPage(p, &page));
-        TEMPO_RETURN_IF_ERROR(
-            StoredRelation::DecodePage(input->schema(), page, &chunk));
-      }
-      std::stable_sort(chunk.begin(), chunk.end(), TupleVsLess);
+      TEMPO_RETURN_IF_ERROR(chunk.Load(input, start, end));
+      std::stable_sort(chunk.views.begin(), chunk.views.end(), ViewVsLess);
       auto run = std::make_unique<StoredRelation>(
           disk, input->schema(),
           output_name + ".run" + std::to_string(runs.size()));
-      TEMPO_RETURN_IF_ERROR(run->AppendAll(chunk));
+      TEMPO_RETURN_IF_ERROR(chunk.WriteRun(run.get()));
+      run_records += chunk.views.size();
       runs.push_back(std::move(run));
     }
   }
@@ -264,6 +295,7 @@ StatusOr<SortedRelation> ExternalSortByVs(StoredRelation* input,
   SortedRelation result;
   result.relation = std::make_unique<StoredRelation>(disk, input->schema(),
                                                      output_name);
+  result.records_sorted_zero_copy = run_records;
   if (runs.empty()) return result;
 
   // --- Merge passes until one fan-in suffices. -------------------------

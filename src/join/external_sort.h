@@ -26,6 +26,10 @@ struct SortedPageMeta {
 struct SortedRelation {
   std::unique_ptr<StoredRelation> relation;
   std::vector<SortedPageMeta> page_meta;
+  /// Input records sorted and written back as zero-copy views during run
+  /// formation (no owning Tuple decode); feeds the
+  /// decode_materializations_avoided metric.
+  uint64_t records_sorted_zero_copy = 0;
 };
 
 /// Externally sorts `input` by validity-interval start (ties by end) using

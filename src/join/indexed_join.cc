@@ -65,6 +65,8 @@ StatusOr<JoinRunStats> IndexedVtJoin(StoredRelation* r, StoredRelation* s,
 
   ResultWriter writer(out);
   uint64_t inner_pages_scanned = 0;
+  uint64_t views_probed = 0;
+  const RecordLayout& s_view_layout = ss.relation->schema().layout();
   const int64_t widen = tree->max_duration();
 
   const uint32_t r_pages = sr.relation->num_pages();
@@ -93,21 +95,30 @@ StatusOr<JoinRunStats> IndexedVtJoin(StoredRelation* r, StoredRelation* s,
       TEMPO_ASSIGN_OR_RETURN(Page * page,
                              data_pool.Pin(ss.relation->file_id(), sp));
       ++inner_pages_scanned;
-      std::vector<Tuple> inner;
-      TEMPO_RETURN_IF_ERROR(
-          StoredRelation::DecodePage(ss.relation->schema(), *page, &inner));
-      TEMPO_RETURN_IF_ERROR(
-          data_pool.Unpin(ss.relation->file_id(), sp, false));
+      // Probe records in place off the pinned frame; the page stays
+      // pinned until the probe loop is done with its views.
       Status status = Status::OK();
-      for (const Tuple& y : inner) {
+      for (uint16_t slot = 0; slot < page->num_records(); ++slot) {
+        std::string_view rec = page->GetRecord(slot);
+        auto y_or = TupleView::Make(s_view_layout, rec.data(), rec.size());
+        if (!y_or.ok()) {
+          status = y_or.status();
+          break;
+        }
+        const TupleView& y = *y_or;
+        ++views_probed;
+        const Interval y_iv = y.interval();
         probe.ForEachMatch(y, layout.s_join_attrs, [&](const Tuple& x) {
           if (!status.ok()) return;
-          auto common = Overlap(x.interval(), y.interval());
+          auto common = Overlap(x.interval(), y_iv);
           if (!common) return;
           status = writer.Emit(layout, x, y, *common);
         });
-        TEMPO_RETURN_IF_ERROR(status);
+        if (!status.ok()) break;
       }
+      TEMPO_RETURN_IF_ERROR(
+          data_pool.Unpin(ss.relation->file_id(), sp, false));
+      TEMPO_RETURN_IF_ERROR(status);
     }
   }
   TEMPO_RETURN_IF_ERROR(writer.Finish());
@@ -123,6 +134,9 @@ StatusOr<JoinRunStats> IndexedVtJoin(StoredRelation* r, StoredRelation* s,
             static_cast<double>((sort_end - before).total_ops()));
   stats.Set(Metric::kInnerPagesScanned,
             static_cast<double>(inner_pages_scanned));
+  stats.Set(Metric::kDecodeMaterializationsAvoided,
+            static_cast<double>(views_probed + sr.records_sorted_zero_copy +
+                                ss.records_sorted_zero_copy));
 
   tree->Drop().ok();
   disk->DeleteFile(sr.relation->file_id()).ok();

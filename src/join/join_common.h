@@ -13,7 +13,9 @@
 #include "parallel/parallel_for.h"
 #include "relation/schema.h"
 #include "relation/tuple.h"
+#include "relation/tuple_view.h"
 #include "storage/io_accountant.h"
+#include "storage/page_arena.h"
 #include "storage/stored_relation.h"
 
 namespace tempo {
@@ -75,6 +77,12 @@ inline void ExportMetrics(const JoinRunStats& stats, ExecContext* ctx) {
 Tuple MakeJoinTuple(const NaturalJoinLayout& layout, const Tuple& x,
                     const Tuple& y, const Interval& overlap);
 
+/// Same, with a zero-copy probe-side record: y's values are materialized
+/// straight from the record bytes into the result — the only point on the
+/// probe hot path where owning Values are created.
+Tuple MakeJoinTuple(const NaturalJoinLayout& layout, const Tuple& x,
+                    const TupleView& y, const Interval& overlap);
+
 /// Buffered writer appending join results to an output relation. The
 /// output page is the paper's dedicated result buffer page (Figure 3).
 class ResultWriter {
@@ -83,6 +91,13 @@ class ResultWriter {
 
   Status Emit(const NaturalJoinLayout& layout, const Tuple& x, const Tuple& y,
               const Interval& overlap) {
+    Status st = out_->Append(MakeJoinTuple(layout, x, y, overlap));
+    if (st.ok()) ++count_;
+    return st;
+  }
+
+  Status Emit(const NaturalJoinLayout& layout, const Tuple& x,
+              const TupleView& y, const Interval& overlap) {
     Status st = out_->Append(MakeJoinTuple(layout, x, y, overlap));
     if (st.ok()) ++count_;
     return st;
@@ -132,6 +147,23 @@ class HashedTupleIndex {
     for (auto it = lo; it != hi; ++it) {
       const Tuple& candidate = (*tuples_)[it->second];
       if (candidate.EqualOnAttrs(*key_attrs_, probe_attrs, probe)) {
+        fn(candidate);
+      }
+    }
+  }
+
+  /// Zero-copy probe: hashes and compares the key directly on the probe
+  /// record's bytes. TupleView's hash is bit-compatible with
+  /// Tuple::HashAttrs, so the bucket walk — and hence match order — is
+  /// identical to probing with the materialized tuple.
+  template <typename Fn>
+  void ForEachMatch(const TupleView& probe,
+                    const std::vector<size_t>& probe_attrs, Fn&& fn) const {
+    size_t h = probe.HashAttrs(probe_attrs);
+    auto [lo, hi] = buckets_.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      const Tuple& candidate = (*tuples_)[it->second];
+      if (probe.EqualOnAttrs(probe_attrs, *key_attrs_, candidate)) {
         fn(candidate);
       }
     }

@@ -374,6 +374,9 @@ StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
   stats.io = acct.stats() - before;
   stats.output_tuples = writer.count();
   stats.Set(Metric::kSortIoOps, static_cast<double>(sort_io.total_ops()));
+  stats.Set(Metric::kDecodeMaterializationsAvoided,
+            static_cast<double>(sr.records_sorted_zero_copy +
+                                ss.records_sorted_zero_copy));
   stats.Set(Metric::kBackupPageReads, static_cast<double>(backup_reads));
   stats.Set(Metric::kMaxActiveTuples,
             static_cast<double>(active_r.max_live() + active_s.max_live()));

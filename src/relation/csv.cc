@@ -2,8 +2,10 @@
 
 #include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 namespace tempo {
 
@@ -28,9 +30,18 @@ void AppendValue(std::string* out, const Value& v) {
       *out += std::to_string(v.AsInt64());
       break;
     case ValueType::kDouble: {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      // Shortest decimal form that parses back to the exact same bits
+      // (including negative zero and full-range magnitudes).
+      char buf[64];
+#if defined(__cpp_lib_to_chars)
+      auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v.AsDouble());
+      TEMPO_CHECK(ec == std::errc());
+      out->append(buf, static_cast<size_t>(p - buf));
+#else
+      std::snprintf(buf, sizeof(buf), "%.*g",
+                    std::numeric_limits<double>::max_digits10, v.AsDouble());
       *out += buf;
+#endif
       break;
     }
     case ValueType::kString:
@@ -179,11 +190,24 @@ StatusOr<std::vector<Tuple>> FromCsv(const Schema& schema,
           break;
         }
         case ValueType::kDouble: {
-          errno = 0;
-          char* end = nullptr;
-          double d = std::strtod(fields[i].c_str(), &end);
-          if (errno != 0 || end != fields[i].c_str() + fields[i].size() ||
-              fields[i].empty()) {
+          double d = 0.0;
+          bool ok = !fields[i].empty();
+          if (ok) {
+#if defined(__cpp_lib_to_chars)
+            auto [p, ec] = std::from_chars(
+                fields[i].data(), fields[i].data() + fields[i].size(), d);
+            ok = ec == std::errc() && p == fields[i].data() + fields[i].size();
+#else
+            // strtod sets ERANGE for subnormals too; only reject a true
+            // overflow so denormal magnitudes survive the round trip.
+            errno = 0;
+            char* end = nullptr;
+            d = std::strtod(fields[i].c_str(), &end);
+            ok = end == fields[i].c_str() + fields[i].size() &&
+                 !(errno == ERANGE && (d == HUGE_VAL || d == -HUGE_VAL));
+#endif
+          }
+          if (!ok) {
             return Status::InvalidArgument("line " + std::to_string(line) +
                                            ": not a double: '" + fields[i] +
                                            "'");

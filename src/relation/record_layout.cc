@@ -1,0 +1,25 @@
+#include "relation/record_layout.h"
+
+namespace tempo {
+
+RecordLayout MakeRecordLayout(const std::vector<ValueType>& types) {
+  RecordLayout layout;
+  layout.num_attributes = static_cast<uint32_t>(types.size());
+  layout.types = types;
+  layout.bitmap_bytes = (layout.num_attributes + 7) / 8;
+  layout.values_offset = RecordLayout::kBitmapOffset + layout.bitmap_bytes;
+  layout.first_var_attr = layout.num_attributes;
+  for (uint32_t i = 0; i < layout.num_attributes; ++i) {
+    if (types[i] == ValueType::kString) {
+      layout.first_var_attr = i;
+      break;
+    }
+  }
+  layout.fixed_record_size = layout.all_fixed_width()
+                                 ? layout.values_offset +
+                                       8 * layout.num_attributes
+                                 : 0;
+  return layout;
+}
+
+}  // namespace tempo

@@ -1,0 +1,53 @@
+#ifndef TEMPO_RELATION_RECORD_LAYOUT_H_
+#define TEMPO_RELATION_RECORD_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/value.h"
+
+namespace tempo {
+
+/// Precomputed byte layout of one serialized record under a fixed schema
+/// (the wire format documented on Tuple): interval header, null bitmap,
+/// then the attribute payloads in schema order with NULL payloads elided.
+///
+/// The layout is derived once per Schema (Schema caches it) so the
+/// zero-copy TupleView can interpret record bytes in place: for the common
+/// all-fixed-width, no-NULL prefix the payload offsets are compile-time
+/// arithmetic on this struct, and only records with NULLs or preceding
+/// strings need a forward walk.
+struct RecordLayout {
+  /// Byte offset of the null bitmap (the interval header is fixed).
+  static constexpr uint32_t kBitmapOffset = 16;
+
+  /// Bytes of the per-record null bitmap: ceil(num_attributes / 8).
+  uint32_t bitmap_bytes = 0;
+
+  /// Byte offset of the first attribute payload: 16 + bitmap_bytes.
+  uint32_t values_offset = 16;
+
+  /// Attribute count and declared types, in schema order.
+  uint32_t num_attributes = 0;
+  std::vector<ValueType> types;
+
+  /// Index of the first variable-width (string) attribute, or
+  /// num_attributes when every attribute is fixed-width. Attributes before
+  /// this index sit at values_offset + 8 * (i - nulls before i); with no
+  /// NULLs the offset is a pure layout constant.
+  uint32_t first_var_attr = 0;
+
+  /// Serialized record size when no attribute is NULL and the schema has
+  /// no strings; 0 when the schema has variable-width attributes.
+  uint32_t fixed_record_size = 0;
+
+  /// True when the schema has no string attribute.
+  bool all_fixed_width() const { return first_var_attr == num_attributes; }
+};
+
+/// Derives the layout of `types` (taken in schema order).
+RecordLayout MakeRecordLayout(const std::vector<ValueType>& types);
+
+}  // namespace tempo
+
+#endif  // TEMPO_RELATION_RECORD_LAYOUT_H_

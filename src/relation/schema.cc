@@ -5,8 +5,26 @@
 
 namespace tempo {
 
+namespace {
+
+std::shared_ptr<const RecordLayout> LayoutFor(
+    const std::vector<Attribute>& attributes) {
+  std::vector<ValueType> types;
+  types.reserve(attributes.size());
+  for (const auto& a : attributes) types.push_back(a.type);
+  return std::make_shared<const RecordLayout>(MakeRecordLayout(types));
+}
+
+}  // namespace
+
 Schema::Schema(std::vector<Attribute> attributes)
-    : attributes_(std::move(attributes)) {}
+    : attributes_(std::move(attributes)), layout_(LayoutFor(attributes_)) {}
+
+const RecordLayout& Schema::layout() const {
+  // Default-constructed Schema: an empty layout (interval + empty bitmap).
+  static const RecordLayout kEmpty = MakeRecordLayout({});
+  return layout_ ? *layout_ : kEmpty;
+}
 
 StatusOr<Schema> Schema::Make(std::vector<Attribute> attributes) {
   std::unordered_set<std::string> seen;

@@ -2,11 +2,13 @@
 #define TEMPO_RELATION_SCHEMA_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/statusor.h"
+#include "relation/record_layout.h"
 #include "relation/value.h"
 
 namespace tempo {
@@ -47,8 +49,15 @@ class Schema {
   /// "(name:type, ...)"
   std::string ToString() const;
 
+  /// Precomputed serialized-record layout for this schema's attribute
+  /// types. Cached once at construction; TupleView borrows it, so the
+  /// layout is held behind a shared_ptr that copies of the Schema share
+  /// (views remain valid across Schema copies).
+  const RecordLayout& layout() const;
+
  private:
   std::vector<Attribute> attributes_;
+  std::shared_ptr<const RecordLayout> layout_;
 };
 
 /// Precomputed layout of a valid-time natural join r ⋈ᵥ s: which attribute

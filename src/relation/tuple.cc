@@ -22,11 +22,8 @@ bool ReadRaw64(const char*& p, const char* end, uint64_t* v) {
 }  // namespace
 
 size_t Tuple::HashAttrs(const std::vector<size_t>& positions) const {
-  size_t h = 0x243f6a8885a308d3ull;  // arbitrary non-zero seed
-  for (size_t pos : positions) {
-    size_t vh = value(pos).Hash();
-    h ^= vh + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  }
+  size_t h = kAttrHashSeed;
+  for (size_t pos : positions) h = MixAttrHash(h, value(pos).Hash());
   return h;
 }
 

@@ -17,23 +17,16 @@ const char* ValueTypeName(ValueType t) {
 }
 
 size_t Value::Hash() const {
-  if (is_null()) return 0xdeadbeefcafef00dull;
-  size_t h = 0;
+  if (is_null()) return HashNull();
   switch (type()) {
     case ValueType::kInt64:
-      h = std::hash<int64_t>()(std::get<int64_t>(v_));
-      break;
+      return HashInt64(std::get<int64_t>(v_));
     case ValueType::kDouble:
-      h = std::hash<double>()(std::get<double>(v_));
-      break;
+      return HashDouble(std::get<double>(v_));
     case ValueType::kString:
-      h = std::hash<std::string>()(std::get<std::string>(v_));
-      break;
+      return HashString(std::get<std::string>(v_));
   }
-  // Mix in the alternative index so equal bit patterns of different types
-  // hash apart, then finalize (splitmix-style).
-  h ^= v_.index() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  return h;
+  return HashNull();
 }
 
 std::string Value::ToString() const {

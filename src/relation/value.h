@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <variant>
 
 #include "common/assert.h"
@@ -70,13 +71,46 @@ class Value {
   /// compare equal, so mixing the index is fine.
   size_t Hash() const;
 
+  // Per-type hash primitives. These define the *canonical* hash of a typed
+  // value: Value::Hash() delegates to them, and the zero-copy TupleView
+  // hashes record bytes through the same functions, so a view and the
+  // owning tuple it would materialize into always land in the same hash
+  // bucket. C++17 guarantees HashString matches std::hash<std::string>
+  // over the same characters.
+  static size_t HashNull() { return 0xdeadbeefcafef00dull; }
+  static size_t HashInt64(int64_t v) {
+    return FinishHash(std::hash<int64_t>()(v), ValueType::kInt64);
+  }
+  static size_t HashDouble(double v) {
+    return FinishHash(std::hash<double>()(v), ValueType::kDouble);
+  }
+  static size_t HashString(std::string_view v) {
+    return FinishHash(std::hash<std::string_view>()(v), ValueType::kString);
+  }
+
   std::string ToString() const;
 
  private:
+  // Mix in the alternative index so equal bit patterns of different types
+  // hash apart, then finalize (splitmix-style).
+  static size_t FinishHash(size_t h, ValueType t) {
+    h ^= static_cast<size_t>(t) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+    return h;
+  }
+
   // Alternative order defines ValueType's numeric values; monostate (NULL)
   // is deliberately last so type() == index() for non-null values.
   std::variant<int64_t, double, std::string, std::monostate> v_;
 };
+
+/// The seed and per-attribute mixing step of the combined join-key hash
+/// (Tuple::HashAttrs / TupleView::HashAttrs). Shared so both paths produce
+/// the same bucket for the same key values.
+inline constexpr size_t kAttrHashSeed = 0x243f6a8885a308d3ull;
+inline size_t MixAttrHash(size_t h, size_t value_hash) {
+  return h ^ (value_hash + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
 
 }  // namespace tempo
 

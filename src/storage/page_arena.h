@@ -1,0 +1,58 @@
+#ifndef TEMPO_STORAGE_PAGE_ARENA_H_
+#define TEMPO_STORAGE_PAGE_ARENA_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/statusor.h"
+#include "relation/schema.h"
+#include "relation/tuple_view.h"
+#include "storage/page.h"
+
+namespace tempo {
+
+/// Pins decoded page bytes so TupleViews over them stay valid for the
+/// lifetime of a processing phase (one morsel, one partition pass, one
+/// probe batch).
+///
+/// AddPage copies the page into a deque — deque growth never moves
+/// existing elements, so views handed out earlier keep pointing at live
+/// bytes — and appends one validated TupleView per record to views().
+/// Clear() drops everything at a phase boundary; reusing one arena per
+/// worker across pages keeps the capacity of views() warm the same way
+/// the owning DecodePageAppend arena does.
+///
+/// The arena borrows the RecordLayout cached on the Schema passed to
+/// AddPage; that Schema (or a copy sharing its layout) must outlive the
+/// arena's views.
+class PageTupleArena {
+ public:
+  PageTupleArena() = default;
+  PageTupleArena(const PageTupleArena&) = delete;
+  PageTupleArena& operator=(const PageTupleArena&) = delete;
+
+  /// Copies `page` into the arena and appends one view per record.
+  /// Returns the number of views appended, or the first record-corruption
+  /// error.
+  StatusOr<size_t> AddPage(const Schema& schema, const Page& page);
+
+  /// Views over every record added since the last Clear(), in page order
+  /// then slot order.
+  const std::vector<TupleView>& views() const { return views_; }
+
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Invalidates all views handed out so far.
+  void Clear() {
+    pages_.clear();
+    views_.clear();
+  }
+
+ private:
+  std::deque<Page> pages_;
+  std::vector<TupleView> views_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_STORAGE_PAGE_ARENA_H_

@@ -28,6 +28,21 @@ Status StoredRelation::Append(const Tuple& tuple) {
   return Status::OK();
 }
 
+Status StoredRelation::AppendRecord(std::string_view record) {
+  if (record.size() > kMaxRecordSize) {
+    return Status::InvalidArgument("record exceeds page capacity (" +
+                                   std::to_string(record.size()) + " bytes)");
+  }
+  if (!append_buffer_.Fits(record.size())) {
+    TEMPO_RETURN_IF_ERROR(Flush());
+  }
+  auto slot = append_buffer_.AddRecord(record);
+  TEMPO_CHECK(slot.has_value());
+  ++append_buffer_count_;
+  ++num_tuples_;
+  return Status::OK();
+}
+
 Status StoredRelation::AppendAll(const std::vector<Tuple>& tuples) {
   for (const auto& t : tuples) {
     TEMPO_RETURN_IF_ERROR(Append(t));
@@ -77,6 +92,12 @@ StatusOr<size_t> StoredRelation::DecodePageAppend(const Schema& schema,
   arena->reserve(before + page.num_records());
   TEMPO_RETURN_IF_ERROR(DecodePage(schema, page, arena));
   return arena->size() - before;
+}
+
+StatusOr<size_t> StoredRelation::DecodePageViews(const Schema& schema,
+                                                 const Page& page,
+                                                 PageTupleArena* arena) {
+  return arena->AddPage(schema, page);
 }
 
 StatusOr<std::vector<Tuple>> StoredRelation::ReadPageTuples(uint32_t page_no) {

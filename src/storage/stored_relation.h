@@ -10,6 +10,7 @@
 #include "relation/tuple.h"
 #include "storage/disk.h"
 #include "storage/page.h"
+#include "storage/page_arena.h"
 
 namespace tempo {
 
@@ -53,6 +54,13 @@ class StoredRelation {
   /// Appends a tuple (buffered). Fails if the record exceeds a page.
   Status Append(const Tuple& tuple);
 
+  /// Appends an already-serialized record verbatim (buffered). Because
+  /// serialization is canonical (Deserialize rejects any non-round-trip
+  /// encoding), routing record bytes straight from an input page — e.g.
+  /// through a TupleView — produces the same stored bytes as decoding and
+  /// re-appending the Tuple, without the decode/encode round trip.
+  Status AppendRecord(std::string_view record);
+
   /// Appends every tuple, then flushes.
   Status AppendAll(const std::vector<Tuple>& tuples);
 
@@ -80,6 +88,14 @@ class StoredRelation {
   static StatusOr<size_t> DecodePageAppend(const Schema& schema,
                                            const Page& page,
                                            std::vector<Tuple>* arena);
+
+  /// Zero-copy variant: pins `page` in `*arena` (see PageTupleArena) and
+  /// appends one validated TupleView per record instead of materializing
+  /// owning Tuples. Returns the number of views appended. The views stay
+  /// valid until the arena is cleared.
+  static StatusOr<size_t> DecodePageViews(const Schema& schema,
+                                          const Page& page,
+                                          PageTupleArena* arena);
 
   /// Number of tuples stored on `page_no` (directory lookup; no I/O).
   uint32_t TuplesOnPage(uint32_t page_no) const;

@@ -1,6 +1,9 @@
 // CSV interchange and relation persistence.
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -56,6 +59,48 @@ TEST(CsvTest, DoubleRoundTrip) {
   std::string csv = ToCsv(schema, tuples);
   TEMPO_ASSERT_OK_AND_ASSIGN(auto back, FromCsv(schema, csv));
   EXPECT_EQ(back, tuples);
+}
+
+TEST(CsvTest, DoubleExactRoundTripHardCases) {
+  Schema schema({{"x", ValueType::kDouble}});
+  const std::vector<double> cases = {
+      0.0,
+      -0.0,  // sign must survive, not just numeric equality
+      0.1,
+      1.0 / 3.0,
+      3.141592653589793,
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      -3.5e300,
+      123456789012345678.0,
+      6.02214076e23,
+      -1.0000000000000002,  // one ulp above -1
+  };
+  std::vector<Tuple> tuples;
+  for (size_t i = 0; i < cases.size(); ++i) {
+    tuples.push_back(Tuple({Value(cases[i])},
+                           Interval(static_cast<Chronon>(i),
+                                    static_cast<Chronon>(i) + 1)));
+  }
+  tuples.push_back(Tuple({Value::Null()}, Interval(100, 101)));
+  std::string csv = ToCsv(schema, tuples);
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto back, FromCsv(schema, csv));
+  ASSERT_EQ(back.size(), tuples.size());
+  for (size_t i = 0; i < cases.size(); ++i) {
+    ASSERT_FALSE(back[i].value(0).is_null()) << "case " << i;
+    double got = back[i].value(0).AsDouble();
+    // Bit-exact comparison: catches -0.0 vs 0.0 and one-ulp drift that
+    // a double== comparison would miss.
+    uint64_t want_bits, got_bits;
+    std::memcpy(&want_bits, &cases[i], sizeof(want_bits));
+    std::memcpy(&got_bits, &got, sizeof(got_bits));
+    EXPECT_EQ(got_bits, want_bits)
+        << "case " << i << ": " << cases[i] << " came back as " << got;
+  }
+  EXPECT_TRUE(back.back().value(0).is_null());
 }
 
 TEST(CsvTest, HeaderMismatchRejected) {

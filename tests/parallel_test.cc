@@ -5,11 +5,15 @@
 
 #include <atomic>
 #include <cstring>
+#include <functional>
 #include <memory>
 
 #include <gtest/gtest.h>
 
+#include "core/partition_coalesce.h"
 #include "core/partition_join.h"
+#include "join/indexed_join.h"
+#include "join/nested_loop_join.h"
 #include "join/reference_join.h"
 #include "join/sort_merge_join.h"
 #include "parallel/parallel_for.h"
@@ -294,6 +298,156 @@ TEST(ParallelJoinTest, SortMergeAgreesAcrossThreadCounts) {
       EXPECT_TRUE(stats.io == serial_io)
           << "threads=" << threads << " io=" << stats.io.ToString()
           << " serial=" << serial_io.ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Zero-copy view refactor lock: every executor must produce the same
+// output bytes and charged I/O at any thread count, and must actually
+// run its hot loop on page-backed views.
+// ---------------------------------------------------------------------
+
+struct ExecRun {
+  std::vector<Page> pages;
+  IoStats io;
+  uint64_t output_tuples = 0;
+  double views = 0;  // decode_materializations_avoided
+};
+
+void CapturePages(StoredRelation* out, ExecRun* run) {
+  run->pages.resize(out->num_pages());
+  for (uint32_t p = 0; p < out->num_pages(); ++p) {
+    TEMPO_ASSERT_OK(out->ReadPage(p, &run->pages[p]));
+  }
+}
+
+void ExpectSameRun(const ExecRun& a, const ExecRun& b, const char* what) {
+  EXPECT_EQ(a.output_tuples, b.output_tuples) << what;
+  EXPECT_TRUE(a.io == b.io) << what << ": " << a.io.ToString() << " vs "
+                            << b.io.ToString();
+  EXPECT_EQ(a.views, b.views) << what << ": view counts diverge";
+  ASSERT_EQ(a.pages.size(), b.pages.size()) << what;
+  for (size_t p = 0; p < a.pages.size(); ++p) {
+    EXPECT_EQ(std::memcmp(&a.pages[p], &b.pages[p], sizeof(Page)), 0)
+        << what << ": output page " << p << " differs";
+  }
+}
+
+TEST(ZeroCopyLockTest, AllExecutorsByteIdenticalAcrossThreadCounts) {
+  Random rng(21);
+  std::vector<Tuple> r_tuples = RandomTuples(rng, 800, 30, 900, 0.25);
+  std::vector<Tuple> s_tuples;
+  for (const Tuple& t : RandomTuples(rng, 700, 30, 900, 0.25)) {
+    s_tuples.push_back(S(t.value(0).AsInt64(), t.value(1).AsString(),
+                         t.interval().start(), t.interval().end()));
+  }
+
+  using Runner = std::function<StatusOr<JoinRunStats>(
+      StoredRelation*, StoredRelation*, StoredRelation*, uint32_t)>;
+  struct Executor {
+    const char* name;
+    Runner run;
+  };
+  const std::vector<Executor> executors = {
+      {"nested_loop",
+       [](StoredRelation* r, StoredRelation* s, StoredRelation* out,
+          uint32_t threads) {
+         VtJoinOptions o;
+         o.buffer_pages = 8;
+         o.parallel.num_threads = threads;
+         return NestedLoopVtJoin(r, s, out, o);
+       }},
+      {"sort_merge",
+       [](StoredRelation* r, StoredRelation* s, StoredRelation* out,
+          uint32_t threads) {
+         VtJoinOptions o;
+         o.buffer_pages = 8;
+         o.parallel.num_threads = threads;
+         return SortMergeVtJoin(r, s, out, o);
+       }},
+      {"indexed",
+       [](StoredRelation* r, StoredRelation* s, StoredRelation* out,
+          uint32_t threads) {
+         VtJoinOptions o;
+         o.buffer_pages = 12;
+         o.parallel.num_threads = threads;
+         return IndexedVtJoin(r, s, out, o);
+       }},
+      {"partition",
+       [](StoredRelation* r, StoredRelation* s, StoredRelation* out,
+          uint32_t threads) {
+         PartitionJoinOptions o;
+         o.buffer_pages = 8;  // forces several partitions + spill paths
+         o.parallel.num_threads = threads;
+         return PartitionVtJoin(r, s, out, o);
+       }},
+  };
+
+  for (const Executor& exec : executors) {
+    ExecRun reference;
+    for (uint32_t threads : {1u, 4u}) {
+      Disk disk;
+      auto r = MakeRelation(&disk, TestSchema(), r_tuples, "r");
+      auto s = MakeRelation(&disk, SSchema(), s_tuples, "s");
+      TEMPO_ASSERT_OK_AND_ASSIGN(
+          NaturalJoinLayout layout,
+          DeriveNaturalJoinLayout(TestSchema(), SSchema()));
+      StoredRelation out(&disk, layout.output, "out");
+      auto stats_or = exec.run(r.get(), s.get(), &out, threads);
+      ASSERT_TRUE(stats_or.ok())
+          << exec.name << ": " << stats_or.status().ToString();
+      ExecRun run;
+      run.io = stats_or->io;
+      run.output_tuples = stats_or->output_tuples;
+      run.views = stats_or->details.at("decode_materializations_avoided");
+      CapturePages(&out, &run);
+      EXPECT_GT(run.views, 0.0)
+          << exec.name << " must stream views through its hot loop";
+      EXPECT_GT(run.output_tuples, 0u) << exec.name;
+      if (threads == 1) {
+        reference = std::move(run);
+      } else {
+        ExpectSameRun(reference, run, exec.name);
+      }
+    }
+  }
+}
+
+TEST(ZeroCopyLockTest, CoalesceByteIdenticalAcrossThreadCounts) {
+  // Duplicate values with touching/overlapping intervals so coalescing
+  // actually merges runs.
+  Random rng(31);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 900; ++i) {
+    int64_t key = static_cast<int64_t>(rng.Uniform(40));
+    Chronon start = rng.UniformRange(0, 500);
+    tuples.push_back(T(key, "grp" + std::to_string(key), start,
+                       start + rng.UniformRange(1, 30)));
+  }
+  ExecRun reference;
+  for (uint32_t threads : {1u, 4u}) {
+    Disk disk;
+    auto in = MakeRelation(&disk, TestSchema(), tuples, "in");
+    StoredRelation out(&disk, TestSchema(), "out");
+    PartitionJoinOptions o;
+    o.buffer_pages = 8;
+    o.forced_num_partitions = 3;  // exercise the carry-across path
+    o.parallel.num_threads = threads;
+    TEMPO_ASSERT_OK_AND_ASSIGN(JoinRunStats stats,
+                               PartitionCoalesce(in.get(), &out, o, nullptr));
+    ExecRun run;
+    run.io = stats.io;
+    run.output_tuples = stats.output_tuples;
+    run.views = stats.details.at("decode_materializations_avoided");
+    CapturePages(&out, &run);
+    EXPECT_GT(run.views, 0.0);
+    EXPECT_GT(run.output_tuples, 0u);
+    EXPECT_LT(run.output_tuples, tuples.size());  // something coalesced
+    if (threads == 1) {
+      reference = std::move(run);
+    } else {
+      ExpectSameRun(reference, run, "coalesce");
     }
   }
 }
