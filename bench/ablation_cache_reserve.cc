@@ -22,6 +22,9 @@ int Run() {
   const uint32_t memory_pages = 2048 / scale;  // 8 MiB
   const CostModel model = CostModel::Ratio(5.0);
 
+  BenchOutput out_report("ablation_cache_reserve");
+  out_report.SetConfig("cost_model_ratio", 5.0);
+
   Disk disk;
   auto r_or = GenerateRelation(&disk, PaperWorkload(scale, 16000, 1100), "r");
   auto s_or = GenerateRelation(&disk, PaperWorkload(scale, 16000, 1200), "s");
@@ -50,10 +53,17 @@ int Run() {
                    stats.status().ToString().c_str());
       return 1;
     }
+    const std::string label = "cache_pages=" + std::to_string(cache_pages);
+    out_report.AddRun(label, *stats, model);
+    out_report.Add(label, "cache_pages_spilled",
+                   stats->Get(Metric::kCachePagesSpilled));
+    out_report.Add(label, "cache_tuples", stats->Get(Metric::kCacheTuples));
+    out_report.Add(label, "overflow_chunks",
+                   stats->Get(Metric::kOverflowChunks));
     table.AddRow({std::to_string(cache_pages),
-                  Fmt(stats->details.at("cache_pages_spilled")),
-                  Fmt(stats->details.at("cache_tuples")),
-                  Fmt(stats->details.at("overflow_chunks")),
+                  Fmt(stats->Get(Metric::kCachePagesSpilled)),
+                  Fmt(stats->Get(Metric::kCacheTuples)),
+                  Fmt(stats->Get(Metric::kOverflowChunks)),
                   Fmt(stats->Cost(model))});
     disk.DeleteFile(out.file_id()).ok();
   }
@@ -63,7 +73,7 @@ int Run() {
       "where the whole cache generation fits, extra reserve only shrinks\n"
       "the partition area (more partitions / possible overflow chunking),\n"
       "so the sweet spot is in the middle — the Section 5 tradeoff.\n");
-  return 0;
+  return out_report.Finish();
 }
 
 }  // namespace

@@ -22,6 +22,9 @@ int Run() {
   const uint32_t memory_pages = 2048 / scale;  // 8 MiB
   const CostModel model = CostModel::Ratio(5.0);
 
+  BenchOutput out("ablation_head_model");
+  out.SetConfig("cost_model_ratio", 5.0);
+
   Disk disk;
   auto r_or = GenerateRelation(&disk, PaperWorkload(scale, 32000, 1500), "r");
   auto s_or = GenerateRelation(&disk, PaperWorkload(scale, 32000, 1600), "s");
@@ -32,8 +35,12 @@ int Run() {
     disk.accountant().set_head_model(head);
     for (Algo algo :
          {Algo::kSortMerge, Algo::kPartition, Algo::kNestedLoop}) {
+      const std::string label =
+          std::string("head=") +
+          (head == HeadModel::kPerFile ? "per-file" : "single-head") +
+          " algo=" + AlgoName(algo);
       auto stats = RunJoin(algo, r_or->get(), s_or->get(), memory_pages,
-                           model);
+                           model, /*seed=*/42, &out, label);
       if (!stats.ok()) {
         std::fprintf(stderr, "join failed: %s\n",
                      stats.status().ToString().c_str());
@@ -49,7 +56,7 @@ int Run() {
   }
   disk.accountant().set_head_model(HeadModel::kPerFile);
   std::printf("%s\n", table.ToString().c_str());
-  return 0;
+  return out.Finish();
 }
 
 }  // namespace

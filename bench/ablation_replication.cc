@@ -39,6 +39,9 @@ int Run() {
   const uint32_t memory_pages = 2048 / scale;  // 8 MiB
   const CostModel model = CostModel::Ratio(5.0);
 
+  BenchOutput out("ablation_replication");
+  out.SetConfig("cost_model_ratio", 5.0);
+
   TextTable table({"long-lived", "policy", "tuples written", "pages written",
                    "cost 5:1"});
   for (uint64_t long_lived : {0ull, 32000ull, 64000ull, 128000ull}) {
@@ -57,16 +60,19 @@ int Run() {
                      stats.status().ToString().c_str());
         return 1;
       }
+      const std::string label =
+          "long_lived=" + std::to_string(long_lived) + " policy=" +
+          (policy == PlacementPolicy::kLastOverlap ? "migrate" : "replicate");
+      out.AddRun(label, *stats, model);
+      out.Add(label, "tuples_written", stats->Get(Metric::kTuplesWritten));
+      out.Add(label, "partition_pages_written",
+              stats->Get(Metric::kPartitionPagesWritten));
       table.AddRow(
           {FormatWithCommas(static_cast<int64_t>(long_lived / scale)),
            policy == PlacementPolicy::kLastOverlap ? "migrate (paper)"
                                                    : "replicate [LM92b]",
-           Fmt(stats->details.count("tuples_written")
-                   ? stats->details.at("tuples_written")
-                   : 0.0),
-           Fmt(stats->details.count("partition_pages_written")
-                   ? stats->details.at("partition_pages_written")
-                   : 0.0),
+           Fmt(stats->Get(Metric::kTuplesWritten)),
+           Fmt(stats->Get(Metric::kPartitionPagesWritten)),
            Fmt(stats->Cost(model))});
     }
   }
@@ -75,7 +81,7 @@ int Run() {
       "Expected: identical writes with no long-lived tuples; replication's\n"
       "storage and write volume grow with long-lived density while\n"
       "migration's stay flat (its cache I/O grows far more slowly).\n");
-  return 0;
+  return out.Finish();
 }
 
 }  // namespace

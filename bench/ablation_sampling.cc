@@ -23,6 +23,9 @@ int Run() {
   PrintHeader("Ablation: in-scan sampling optimization (scale 1/" +
               std::to_string(scale) + ")");
 
+  BenchOutput out("ablation_sampling");
+  out.SetConfig("seed", 1000.0);
+
   Disk disk;
   auto r_or = GenerateRelation(&disk, PaperWorkload(scale, 32000, 1000), "r");
   if (!r_or.ok()) return 1;
@@ -49,6 +52,15 @@ int Run() {
         const IoStats& io = disk.accountant().stats();
         char ratio_buf[16];
         std::snprintf(ratio_buf, sizeof(ratio_buf), "%.0f:1", ratio);
+        const std::string label =
+            "mem=" + std::to_string(mib) + "MiB ratio=" +
+            std::to_string(static_cast<int>(ratio)) + " in_scan=" +
+            (in_scan ? "on" : "off");
+        out.Add(label, "samples", static_cast<double>(plan->samples_drawn));
+        out.Add(label, "io_random", static_cast<double>(io.total_random()));
+        out.Add(label, "io_sequential",
+                static_cast<double>(io.total_sequential()));
+        out.Add(label, "plan_cost", io.Cost(options.cost_model));
         table.AddRow({std::to_string(mib) + " MiB", ratio_buf,
                       in_scan ? "on" : "off",
                       FormatWithCommas(static_cast<int64_t>(plan->samples_drawn)),
@@ -63,7 +75,7 @@ int Run() {
       "Expected: with the optimization off, planning cost explodes whenever\n"
       "the Kolmogorov bound asks for more random reads than one scan; with\n"
       "it on, planning never costs more than about one sequential pass.\n");
-  return 0;
+  return out.Finish();
 }
 
 }  // namespace

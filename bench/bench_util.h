@@ -1,8 +1,11 @@
 #ifndef TEMPO_BENCH_BENCH_UTIL_H_
 #define TEMPO_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -10,23 +13,41 @@
 #include "core/partition_join.h"
 #include "join/nested_loop_join.h"
 #include "join/sort_merge_join.h"
+#include "obs/bench_report.h"
 #include "obs/explain.h"
+#include "obs/export.h"
 #include "workload/generator.h"
 #include "workload/paper_params.h"
 
 namespace tempo::bench {
+
+/// Strict positive-integer env parser. The whole value must be a decimal
+/// integer >= 1 (strtol endptr check): trailing garbage ("16x", "8 "),
+/// overflow and non-numeric values are *rejected* with a stderr warning
+/// rather than silently half-parsed, and the default is used instead.
+inline uint32_t EnvUint(const char* name, uint32_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || v < 1 ||
+      v > static_cast<long>(std::numeric_limits<uint32_t>::max())) {
+    std::fprintf(stderr,
+                 "warning: ignoring malformed %s=\"%s\" (want a positive "
+                 "decimal integer); using %u\n",
+                 name, env, fallback);
+    return fallback;
+  }
+  return static_cast<uint32_t>(v);
+}
 
 /// All figure benches honor TEMPO_BENCH_SCALE: relation cardinalities, the
 /// long-lived counts and the memory axis are divided by it, preserving
 /// every ratio the paper's experiments depend on (the paper itself notes
 /// "we are concerned more with ratios of certain parameters as opposed to
 /// their absolute values"). 1 = the paper's full 32 MiB configuration.
-inline uint32_t BenchScale() {
-  const char* env = std::getenv("TEMPO_BENCH_SCALE");
-  if (env == nullptr) return 1;
-  long v = std::strtol(env, nullptr, 10);
-  return v >= 1 ? static_cast<uint32_t>(v) : 1;
-}
+inline uint32_t BenchScale() { return EnvUint("TEMPO_BENCH_SCALE", 1); }
 
 /// Worker threads for the executors' CPU-bound phases (the --threads knob,
 /// set via TEMPO_BENCH_THREADS). Defaults to 1, the paper-faithful serial
@@ -34,12 +55,7 @@ inline uint32_t BenchScale() {
 /// wall-clock — so every figure bench may be run at any thread count
 /// without perturbing the reproduced numbers. bench/micro_parallel is the
 /// wall-clock scaling study.
-inline uint32_t BenchThreads() {
-  const char* env = std::getenv("TEMPO_BENCH_THREADS");
-  if (env == nullptr) return 1;
-  long v = std::strtol(env, nullptr, 10);
-  return v >= 1 ? static_cast<uint32_t>(v) : 1;
-}
+inline uint32_t BenchThreads() { return EnvUint("TEMPO_BENCH_THREADS", 1); }
 
 /// TEMPO_BENCH_TRACE=1 runs every RunJoin under an ExecContext and prints
 /// the EXPLAIN ANALYZE span tree after the join. Tracing never perturbs
@@ -50,6 +66,74 @@ inline bool BenchTrace() {
   const char* env = std::getenv("TEMPO_BENCH_TRACE");
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
+
+/// True when RunJoin should execute under an ExecContext: either the
+/// human-facing EXPLAIN ANALYZE (TEMPO_BENCH_TRACE) or the Perfetto
+/// export (TEMPO_TRACE_OUT) wants the span tree. When both are off the
+/// executors run with a null context — the zero-overhead mode.
+inline bool BenchTraced() { return BenchTrace() || !TraceOutPath().empty(); }
+
+/// The per-binary machine-readable report: every figure/ablation bench
+/// builds one of these, adds a point per table row, and ends Run() with
+/// `return out.Finish();`. Reports are only written when TEMPO_BENCH_JSON
+/// is set (see BenchJsonDir()), so default runs are unchanged.
+class BenchOutput {
+ public:
+  explicit BenchOutput(const std::string& name) : report_(name) {
+    report_.SetConfig("scale", static_cast<double>(BenchScale()));
+    report_.SetConfig("threads", static_cast<double>(BenchThreads()));
+  }
+
+  BenchReport& report() { return report_; }
+
+  void SetConfig(const std::string& key, Json value) {
+    report_.SetConfig(key, std::move(value));
+  }
+
+  void Add(const std::string& label, const std::string& key, double value) {
+    report_.Add(label, key, value);
+  }
+
+  /// Records the standard values of one join run under point `label`:
+  /// actual charged I/O (split and priced), output cardinality, and the
+  /// planner's estimates when the run produced them — the est-vs-actual
+  /// pair bench_compare and the paper's cost-model validation care about.
+  void AddRun(const std::string& label, const JoinRunStats& stats,
+              const CostModel& model) {
+    Json& values = report_.Point(label);
+    values.Set("act_cost", stats.Cost(model));
+    values.Set("io_random", stats.io.total_random());
+    values.Set("io_sequential", stats.io.total_sequential());
+    values.Set("io_ops", stats.io.total_ops());
+    values.Set("output_tuples", stats.output_tuples);
+    if (stats.Has(Metric::kEstJoinCost)) {
+      values.Set("est_join_cost", stats.Get(Metric::kEstJoinCost));
+    }
+    if (stats.Has(Metric::kEstSampleCost)) {
+      values.Set("est_sample_cost", stats.Get(Metric::kEstSampleCost));
+    }
+    if (stats.Has(Metric::kPlannedCost)) {
+      values.Set("planned_cost", stats.Get(Metric::kPlannedCost));
+    }
+  }
+
+  /// Writes BENCH_<name>.json when TEMPO_BENCH_JSON is set; 0 on success
+  /// (or nothing to do), 1 on a failed write — Run()'s exit code.
+  int Finish() {
+    const std::string dir = BenchJsonDir();
+    if (dir.empty()) return 0;
+    StatusOr<std::string> path = report_.WriteFile(dir);
+    if (!path.ok()) {
+      std::fprintf(stderr, "%s\n", path.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("bench json: %s\n", path->c_str());
+    return 0;
+  }
+
+ private:
+  BenchReport report_;
+};
 
 /// The paper's workload (Sections 4.2-4.4) scaled by `scale`:
 /// 262,144 128-byte tuples over a 1,000,000-chronon lifespan, ~10 tuples
@@ -84,10 +168,18 @@ inline const char* AlgoName(Algo a) {
 /// Runs one join. The output relation is uncharged (the paper omits result
 /// I/O, which every algorithm pays identically) and deleted afterwards.
 /// Generation I/O is invisible: the accountant is reset before the run.
+///
+/// When `report`/`label` are given, the run's standard values plus its
+/// wall-clock go into that report point. With TEMPO_TRACE_OUT set, the
+/// run's Perfetto trace is written there (each traced run overwrites the
+/// file, so the last RunJoin of a sweep wins — point a single-join smoke
+/// at it, e.g. fig4's traced end-to-end join).
 inline StatusOr<JoinRunStats> RunJoin(Algo algo, StoredRelation* r,
                                       StoredRelation* s, uint32_t buffer_pages,
                                       const CostModel& model,
-                                      uint64_t seed = 42) {
+                                      uint64_t seed = 42,
+                                      BenchOutput* report = nullptr,
+                                      const std::string& label = "") {
   Disk* disk = r->disk();
   TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout,
                          DeriveNaturalJoinLayout(r->schema(), s->schema()));
@@ -96,7 +188,8 @@ inline StatusOr<JoinRunStats> RunJoin(Algo algo, StoredRelation* r,
   disk->accountant().Reset();
 
   ExecContext ctx;
-  ExecContext* ctxp = BenchTrace() ? &ctx : nullptr;
+  ExecContext* ctxp = BenchTraced() ? &ctx : nullptr;
+  const auto wall_start = std::chrono::steady_clock::now();
   StatusOr<JoinRunStats> stats = Status::Internal("unreachable");
   switch (algo) {
     case Algo::kNestedLoop: {
@@ -124,11 +217,27 @@ inline StatusOr<JoinRunStats> RunJoin(Algo algo, StoredRelation* r,
       break;
     }
   }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   if (ctxp != nullptr && stats.ok()) {
-    ExplainOptions eopts;
-    eopts.cost_model = model;
-    std::printf("\nEXPLAIN ANALYZE (%s, buffSize=%u)\n%s\n", AlgoName(algo),
-                buffer_pages, ExplainAnalyze(ctx, eopts).c_str());
+    if (BenchTrace()) {
+      ExplainOptions eopts;
+      eopts.cost_model = model;
+      std::printf("\nEXPLAIN ANALYZE (%s, buffSize=%u)\n%s\n", AlgoName(algo),
+                  buffer_pages, ExplainAnalyze(ctx, eopts).c_str());
+    }
+    TraceExportOptions topts;
+    topts.cost_model = model;
+    Status trace_st = MaybeWriteTraceFromEnv(ctx, topts);
+    if (!trace_st.ok()) {
+      std::fprintf(stderr, "%s\n", trace_st.ToString().c_str());
+    }
+  }
+  if (report != nullptr && stats.ok() && !label.empty()) {
+    report->AddRun(label, *stats, model);
+    report->Add(label, "wall_seconds", wall_seconds);
   }
   disk->DeleteFile(out.file_id()).ok();
   return stats;

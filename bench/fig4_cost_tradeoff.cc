@@ -20,6 +20,10 @@ int Run() {
   PrintHeader("Figure 4: sampling vs tuple-cache cost per partition size "
               "(scale 1/" + std::to_string(scale) + ")");
 
+  BenchOutput out("fig4_cost_tradeoff");
+  out.SetConfig("seed", 700.0);
+  out.SetConfig("cost_model_ratio", 5.0);
+
   Disk disk;
   auto r_or = GenerateRelation(&disk, PaperWorkload(scale, 64000, 700), "r");
   if (!r_or.ok()) {
@@ -54,8 +58,18 @@ int Run() {
   // Print a readable subset: every k-th candidate plus the minimum.
   size_t step = curve.size() > 24 ? curve.size() / 24 : 1;
   for (size_t i = 0; i < curve.size(); ++i) {
-    if (i % step != 0 && i != best_idx && i != curve.size() - 1) continue;
     const PartitionCostPoint& p = curve[i];
+    // Every candidate goes into the JSON report (the baseline bench_compare
+    // regresses against); the table prints the readable subset.
+    const std::string label = "partSize=" + std::to_string(p.part_size_pages);
+    out.Add(label, "partitions", p.num_partitions);
+    out.Add(label, "samples", p.required_samples);
+    out.Add(label, "c_sample", p.c_sample);
+    out.Add(label, "c_cache", p.c_cache);
+    out.Add(label, "c_partition", p.c_partition);
+    out.Add(label, "c_total", p.total());
+    out.Add(label, "chosen", i == best_idx ? 1.0 : 0.0);
+    if (i % step != 0 && i != best_idx && i != curve.size() - 1) continue;
     table.AddRow({std::to_string(p.part_size_pages),
                   std::to_string(p.num_partitions),
                   FormatWithCommas(static_cast<int64_t>(p.required_samples)),
@@ -79,25 +93,28 @@ int Run() {
   std::printf("C_cache  non-increasing in partSize: %s\n",
               cache_monotone ? "yes" : "no");
 
-  if (BenchTrace()) {
+  if (BenchTraced() || !BenchJsonDir().empty()) {
     // End-to-end smoke of the partitioning the curve prices: run the
     // partition join at the chosen buffer size; RunJoin prints the
     // EXPLAIN ANALYZE span tree (sampling / chooseIntervals /
-    // partitioning / joinPartitions) with estimated vs. actual cost.
+    // partitioning / joinPartitions) with estimated vs. actual cost, and
+    // writes the Perfetto trace when TEMPO_TRACE_OUT is set. The JSON
+    // report gets the run's est-vs-actual point either way.
     auto s_or = GenerateRelation(&disk, PaperWorkload(scale, 64000, 701), "s");
     if (!s_or.ok()) {
       std::fprintf(stderr, "workload generation failed\n");
       return 1;
     }
     auto stats = RunJoin(Algo::kPartition, r, s_or->get(),
-                         options.buffer_pages, options.cost_model);
+                         options.buffer_pages, options.cost_model,
+                         /*seed=*/42, &out, "end-to-end partition join");
     if (!stats.ok()) {
       std::fprintf(stderr, "traced join failed: %s\n",
                    stats.status().ToString().c_str());
       return 1;
     }
   }
-  return 0;
+  return out.Finish();
 }
 
 }  // namespace

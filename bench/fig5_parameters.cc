@@ -11,6 +11,19 @@ namespace {
 
 int Run() {
   PrintHeader("Figure 5: global parameter values (reconstructed)");
+
+  BenchOutput out("fig5_parameters");
+  out.Add("globals", "tuples_per_relation",
+          static_cast<double>(paper::kTuplesPerRelation));
+  out.Add("globals", "pages_per_relation",
+          static_cast<double>(paper::kPagesPerRelation));
+  out.Add("globals", "tuples_per_page",
+          static_cast<double>(paper::kTuplesPerPage));
+  out.Add("globals", "distinct_keys",
+          static_cast<double>(paper::kDistinctKeys));
+  out.Add("globals", "lifespan", static_cast<double>(paper::kLifespan));
+  out.Add("globals", "tuple_bytes", static_cast<double>(paper::kTupleBytes));
+
   TextTable table({"parameter", "value", "derivation"});
   table.AddRow({"relation size", "32 MiB",
                 "\"Each database contained 32 megabytes\""});
@@ -42,7 +55,7 @@ int Run() {
               "(+4-byte page slot +1 null-bitmap byte keeps 32 tuples "
               "per 4 KiB slotted page)\n",
               static_cast<unsigned long long>(paper::kTupleBytes));
-  return 0;
+  return out.Finish();
 }
 
 }  // namespace

@@ -23,6 +23,9 @@ int Run() {
   PrintHeader("Figure 6: I/O cost vs main memory (scale 1/" +
               std::to_string(scale) + ")");
 
+  BenchOutput out("fig6_memory_sweep");
+  out.SetConfig("seed", 101.0);
+
   Disk disk;
   auto r_or = GenerateRelation(&disk, PaperWorkload(scale, 0, 101), "r");
   auto s_or = GenerateRelation(&disk, PaperWorkload(scale, 0, 202), "s");
@@ -48,10 +51,15 @@ int Run() {
       std::vector<std::string> row{std::to_string(mib) + " MiB",
                                    AlgoName(algo)};
       IoStats io;
+      const std::string base_label =
+          "mem=" + std::to_string(mib) + "MiB algo=" + AlgoName(algo);
       if (algo == Algo::kPartition) {
         // The optimizer consults the ratio, so run per ratio.
         for (double ratio : paper::kRatios) {
-          auto stats = RunJoin(algo, r, s, pages, CostModel::Ratio(ratio));
+          const std::string label =
+              base_label + " ratio=" + std::to_string(static_cast<int>(ratio));
+          auto stats = RunJoin(algo, r, s, pages, CostModel::Ratio(ratio),
+                               /*seed=*/42, &out, label);
           if (!stats.ok()) {
             std::fprintf(stderr, "%s failed: %s\n", AlgoName(algo),
                          stats.status().ToString().c_str());
@@ -63,7 +71,8 @@ int Run() {
       } else {
         // NL and SM perform identical I/O regardless of the ratio: run
         // once, weight three ways.
-        auto stats = RunJoin(algo, r, s, pages, CostModel::Ratio(5.0));
+        auto stats = RunJoin(algo, r, s, pages, CostModel::Ratio(5.0),
+                             /*seed=*/42, &out, base_label);
         if (!stats.ok()) {
           std::fprintf(stderr, "%s failed: %s\n", AlgoName(algo),
                        stats.status().ToString().c_str());
@@ -71,6 +80,9 @@ int Run() {
         }
         for (double ratio : paper::kRatios) {
           row.push_back(Fmt(stats->Cost(CostModel::Ratio(ratio))));
+          out.Add(base_label,
+                  "cost_ratio_" + std::to_string(static_cast<int>(ratio)),
+                  stats->Cost(CostModel::Ratio(ratio)));
         }
         io = stats->io;
       }
@@ -90,7 +102,7 @@ int Run() {
                                                 pages, CostModel::Ratio(5.0)))});
   }
   std::printf("%s\n", analytic.ToString().c_str());
-  return 0;
+  return out.Finish();
 }
 
 }  // namespace

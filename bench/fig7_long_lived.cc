@@ -25,6 +25,9 @@ int Run() {
   const CostModel model = CostModel::Ratio(5.0);
   std::printf("memory: %u pages, ratio 5:1\n\n", memory_pages);
 
+  BenchOutput out("fig7_long_lived");
+  out.SetConfig("cost_model_ratio", 5.0);
+
   TextTable table({"long-lived", "% of rel", "sort-merge", "partition",
                    "nested-loops", "SM backups", "PJ cache pages"});
   for (uint64_t long_lived = 8000; long_lived <= 128000;
@@ -41,25 +44,32 @@ int Run() {
     StoredRelation* r = r_or->get();
     StoredRelation* s = s_or->get();
 
-    auto sm = RunJoin(Algo::kSortMerge, r, s, memory_pages, model);
-    auto pj = RunJoin(Algo::kPartition, r, s, memory_pages, model);
-    auto nl = RunJoin(Algo::kNestedLoop, r, s, memory_pages, model);
+    const std::string ll = "long_lived=" + std::to_string(long_lived);
+    auto sm = RunJoin(Algo::kSortMerge, r, s, memory_pages, model,
+                      /*seed=*/42, &out, ll + " algo=sort-merge");
+    auto pj = RunJoin(Algo::kPartition, r, s, memory_pages, model,
+                      /*seed=*/42, &out, ll + " algo=partition");
+    auto nl = RunJoin(Algo::kNestedLoop, r, s, memory_pages, model,
+                      /*seed=*/42, &out, ll + " algo=nested-loops");
     if (!sm.ok() || !pj.ok() || !nl.ok()) {
       std::fprintf(stderr, "join failed\n");
       return 1;
     }
+    out.Add(ll + " algo=sort-merge", "backup_page_reads",
+            sm->Get(Metric::kBackupPageReads));
+    out.Add(ll + " algo=partition", "cache_pages_spilled",
+            pj->Get(Metric::kCachePagesSpilled));
     double pct = 100.0 * static_cast<double>(long_lived) /
                  static_cast<double>(paper::kTuplesPerRelation);
     char pct_buf[16];
     std::snprintf(pct_buf, sizeof(pct_buf), "%.0f%%", pct);
     table.AddRow({FormatWithCommas(static_cast<int64_t>(long_lived / scale)),
                   pct_buf, Fmt(sm->Cost(model)), Fmt(pj->Cost(model)),
-                  Fmt(nl->Cost(model)),
-                  Fmt(sm->details.at("backup_page_reads")),
-                  Fmt(pj->details.at("cache_pages_spilled"))});
+                  Fmt(nl->Cost(model)), Fmt(sm->Get(Metric::kBackupPageReads)),
+                  Fmt(pj->Get(Metric::kCachePagesSpilled))});
   }
   std::printf("%s\n", table.ToString().c_str());
-  return 0;
+  return out.Finish();
 }
 
 }  // namespace

@@ -24,6 +24,9 @@ int Run() {
   const CostModel model = CostModel::Ratio(5.0);
   const std::vector<uint32_t> memory_mib = {1, 2, 4, 16, 32};
 
+  BenchOutput out("fig8_memory_vs_long_lived");
+  out.SetConfig("cost_model_ratio", 5.0);
+
   std::vector<std::string> header{"long-lived"};
   for (uint32_t mib : memory_mib) {
     header.push_back(std::to_string(mib) + " MiB");
@@ -47,24 +50,27 @@ int Run() {
     double cache_at_1mib = 0.0;
     for (uint32_t mib : memory_mib) {
       uint32_t pages = std::max<uint32_t>(8, mib * 256 / scale);
+      const std::string label = "long_lived=" + std::to_string(long_lived) +
+                                " mem=" + std::to_string(mib) + "MiB";
       auto pj = RunJoin(Algo::kPartition, r_or->get(), s_or->get(), pages,
-                        model);
+                        model, /*seed=*/42, &out, label);
       if (!pj.ok()) {
         std::fprintf(stderr, "partition join failed: %s\n",
                      pj.status().ToString().c_str());
         return 1;
       }
+      out.Add(label, "cache_pages_spilled",
+              pj->Get(Metric::kCachePagesSpilled));
       row.push_back(Fmt(pj->Cost(model)));
-      if (mib == memory_mib.front() &&
-          pj->details.count("cache_pages_spilled")) {
-        cache_at_1mib = pj->details.at("cache_pages_spilled");
+      if (mib == memory_mib.front()) {
+        cache_at_1mib = pj->Get(Metric::kCachePagesSpilled);
       }
     }
     row.push_back(Fmt(cache_at_1mib));
     table.AddRow(std::move(row));
   }
   std::printf("%s\n", table.ToString().c_str());
-  return 0;
+  return out.Finish();
 }
 
 }  // namespace

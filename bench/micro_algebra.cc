@@ -2,6 +2,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_util.h"
+
 #include "algebra/aggregation.h"
 #include "algebra/operators.h"
 #include "common/random.h"
@@ -83,3 +85,5 @@ BENCHMARK(BM_VtDifference);
 
 }  // namespace
 }  // namespace tempo
+
+TEMPO_MICRO_MAIN("micro_algebra")

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_util.h"
+
 #include "core/choose_intervals.h"
 #include "core/estimate_cache.h"
 #include "core/grace_partitioner.h"
@@ -102,3 +104,5 @@ BENCHMARK(BM_HashProbeJoinKernel);
 
 }  // namespace
 }  // namespace tempo
+
+TEMPO_MICRO_MAIN("micro_core")

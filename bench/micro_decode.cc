@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_util.h"
+
 #include "relation/tuple_view.h"
 #include "storage/page.h"
 #include "storage/page_arena.h"
@@ -130,3 +132,5 @@ BENCHMARK(BM_IntervalScanViews);
 
 }  // namespace
 }  // namespace tempo
+
+TEMPO_MICRO_MAIN("micro_decode")

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_util.h"
+
 #include "core/partition_join.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
@@ -111,8 +113,9 @@ void BM_PartitionJoinThreads(benchmark::State& state) {
       return;
     }
     tuples = stats->output_tuples;
-    auto it = stats->details.find("parallel_efficiency");
-    if (it != stats->details.end()) efficiency = it->second;
+    if (stats->Has(Metric::kParallelEfficiency)) {
+      efficiency = stats->Get(Metric::kParallelEfficiency);
+    }
     fixture->disk.DeleteFile(out.file_id()).ok();
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(tuples));
@@ -172,3 +175,5 @@ BENCHMARK(BM_GracePartitionThreads)
 
 }  // namespace
 }  // namespace tempo
+
+TEMPO_MICRO_MAIN("micro_parallel")

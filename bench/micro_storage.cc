@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_util.h"
+
 #include "storage/disk.h"
 #include "storage/page.h"
 #include "storage/stored_relation.h"
@@ -95,3 +97,5 @@ BENCHMARK(BM_SequentialScan);
 
 }  // namespace
 }  // namespace tempo
+
+TEMPO_MICRO_MAIN("micro_storage")

@@ -2,6 +2,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_util.h"
+
 #include "common/random.h"
 #include "temporal/allen.h"
 #include "temporal/interval.h"
@@ -76,3 +78,5 @@ BENCHMARK(BM_IntervalSetDifference)->Arg(64)->Arg(1024);
 
 }  // namespace
 }  // namespace tempo
+
+TEMPO_MICRO_MAIN("micro_temporal")

@@ -1,0 +1,318 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace tempo {
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos) + ": " + what);
+  }
+
+  Status Expect(char c) {
+    if (AtEnd() || Peek() != c) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return Status::OK();
+  }
+
+  bool Consume(std::string_view token) {
+    if (text.substr(pos, token.size()) != token) return false;
+    pos += token.size();
+    return true;
+  }
+
+  StatusOr<std::string> ParseString() {
+    TEMPO_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20) {
+          return Error("unescaped control character in string");
+        }
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Error("unterminated escape");
+      char e = text[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return Error("truncated \\u escape");
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs in input are
+          // encoded as two 3-byte sequences; fine for our own documents,
+          // which never emit non-BMP escapes).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+  }
+
+  StatusOr<Json> ParseValue(int depth) {
+    if (depth > 64) return Error("nesting too deep");
+    SkipWhitespace();
+    if (AtEnd()) return Error("unexpected end of input");
+    char c = Peek();
+    if (c == '{') {
+      ++pos;
+      Json obj = Json::Object();
+      SkipWhitespace();
+      if (!AtEnd() && Peek() == '}') {
+        ++pos;
+        return obj;
+      }
+      while (true) {
+        SkipWhitespace();
+        TEMPO_ASSIGN_OR_RETURN(std::string key, ParseString());
+        SkipWhitespace();
+        TEMPO_RETURN_IF_ERROR(Expect(':'));
+        TEMPO_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+        obj.Set(std::move(key), std::move(value));
+        SkipWhitespace();
+        if (AtEnd()) return Error("unterminated object");
+        if (Peek() == ',') {
+          ++pos;
+          continue;
+        }
+        TEMPO_RETURN_IF_ERROR(Expect('}'));
+        return obj;
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      Json arr = Json::Array();
+      SkipWhitespace();
+      if (!AtEnd() && Peek() == ']') {
+        ++pos;
+        return arr;
+      }
+      while (true) {
+        TEMPO_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+        arr.Append(std::move(value));
+        SkipWhitespace();
+        if (AtEnd()) return Error("unterminated array");
+        if (Peek() == ',') {
+          ++pos;
+          continue;
+        }
+        TEMPO_RETURN_IF_ERROR(Expect(']'));
+        return arr;
+      }
+    }
+    if (c == '"') {
+      TEMPO_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Json(std::move(s));
+    }
+    if (Consume("true")) return Json(true);
+    if (Consume("false")) return Json(false);
+    if (Consume("null")) return Json();
+    // Number.
+    size_t start = pos;
+    if (!AtEnd() && (Peek() == '-' || Peek() == '+')) ++pos;
+    while (!AtEnd()) {
+      char d = Peek();
+      if ((d >= '0' && d <= '9') || d == '.' || d == 'e' || d == 'E' ||
+          d == '+' || d == '-') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (pos == start) return Error("unexpected character");
+    double value = 0.0;
+    auto [end, ec] =
+        std::from_chars(text.data() + start, text.data() + pos, value);
+    if (ec != std::errc() || end != text.data() + pos) {
+      return Error("malformed number");
+    }
+    return Json(value);
+  }
+};
+
+}  // namespace
+
+void JsonEscape(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonNumberToString(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "0";
+  return std::string(buf, end);
+}
+
+Json& Json::Set(std::string key, Json value) {
+  type_ = Type::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return v;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return members_.back().second;
+}
+
+const Json* Json::Find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Json::NumberOr(const std::string& key, double fallback) const {
+  const Json* v = Find(key);
+  return v != nullptr && v->is_number() ? v->AsNumber() : fallback;
+}
+
+Json& Json::Append(Json value) {
+  type_ = Type::kArray;
+  elements_.push_back(std::move(value));
+  return elements_.back();
+}
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent < 0) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      return;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      return;
+    case Type::kNumber:
+      out->append(JsonNumberToString(number_));
+      return;
+    case Type::kString:
+      JsonEscape(string_, out);
+      return;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& e : elements_) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        e.DumpTo(out, indent, depth + 1);
+      }
+      if (!elements_.empty()) newline(depth);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out->push_back(',');
+        first = false;
+        newline(depth + 1);
+        JsonEscape(k, out);
+        out->push_back(':');
+        if (indent >= 0) out->push_back(' ');
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!members_.empty()) newline(depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+StatusOr<Json> Json::Parse(std::string_view text) {
+  Parser p{text};
+  TEMPO_ASSIGN_OR_RETURN(Json value, p.ParseValue(0));
+  p.SkipWhitespace();
+  if (!p.AtEnd()) return p.Error("trailing content after document");
+  return value;
+}
+
+}  // namespace tempo

@@ -1,0 +1,114 @@
+#ifndef TEMPO_COMMON_JSON_H_
+#define TEMPO_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace tempo {
+
+/// A minimal JSON document: build, serialize, parse. This is the single
+/// serialization substrate of the observability export layer (Perfetto
+/// traces, metric snapshots, BENCH_*.json reports) and the parser behind
+/// `tools/bench_compare` — no third-party JSON dependency.
+///
+/// Objects preserve insertion order (and parse order), so emitted
+/// documents are deterministic and diffable; duplicate keys keep the
+/// last value on Set and the first match on Find. Numbers are doubles,
+/// serialized with the shortest round-trip representation
+/// (std::to_chars), so Parse(Dump(x)) reproduces x exactly.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                  // NOLINT
+  Json(double v) : type_(Type::kNumber), number_(v) {}            // NOLINT
+  Json(int v) : type_(Type::kNumber), number_(v) {}               // NOLINT
+  Json(int64_t v)                                                 // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  Json(uint64_t v)                                                // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}       // NOLINT
+  Json(std::string s)                                             // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+
+  static Json Object() { return Json(Type::kObject); }
+  static Json Array() { return Json(Type::kArray); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+
+  // --- Object access ---------------------------------------------------
+
+  /// Sets `key` to `value` (replacing an existing entry); returns a
+  /// reference to the stored value so nested documents chain naturally.
+  Json& Set(std::string key, Json value);
+
+  /// First value stored under `key`; null when absent or not an object.
+  const Json* Find(const std::string& key) const;
+  Json* Find(const std::string& key) {
+    return const_cast<Json*>(std::as_const(*this).Find(key));
+  }
+
+  /// `Find` + number coercion; `fallback` when absent or non-numeric.
+  double NumberOr(const std::string& key, double fallback) const;
+
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  // --- Array access ----------------------------------------------------
+
+  Json& Append(Json value);
+  const std::vector<Json>& elements() const { return elements_; }
+  std::vector<Json>& elements() { return elements_; }
+  size_t size() const {
+    return type_ == Type::kObject ? members_.size() : elements_.size();
+  }
+
+  // --- Serialization ---------------------------------------------------
+
+  /// Serializes the document. `indent < 0` is compact (single line);
+  /// `indent >= 0` pretty-prints with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  /// Strict parser: one JSON value, UTF-8 passed through verbatim,
+  /// trailing non-whitespace rejected. No comments, no trailing commas.
+  static StatusOr<Json> Parse(std::string_view text);
+
+ private:
+  explicit Json(Type t) : type_(t) {}
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Appends the JSON escaping of `s` (quotes included) to `*out`.
+void JsonEscape(std::string_view s, std::string* out);
+
+/// Shortest round-trip serialization of `v` ("1e+30", "0.1", "42").
+/// Non-finite values serialize as null per the JSON grammar.
+std::string JsonNumberToString(double v);
+
+}  // namespace tempo
+
+#endif  // TEMPO_COMMON_JSON_H_

@@ -459,6 +459,8 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
 
     cache_pages_spilled += next_gen.spilled_pages();
     cache_tuples += next_gen.num_tuples();
+    RecordHistogram(ctx, Hist::kCacheOccupancyTuples,
+                    static_cast<double>(next_gen.num_tuples()));
     TEMPO_RETURN_IF_ERROR(cache.Discard());
     cache = std::move(next_gen);
   }
@@ -481,6 +483,7 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
               probe_stats.Efficiency(parallel.num_threads));
   }
   join_span.AddMorsels(probe_stats);
+  MergeHistogram(ctx, Hist::kMorselDurationUs, probe_stats.duration_hist);
   if (morsel_stats != nullptr) morsel_stats->Merge(probe_stats);
   ExportMetrics(stats, ctx);
   return stats;
@@ -631,7 +634,6 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
                        pool.get(), &total_morsels, ctx));
     stats.output_tuples = join_stats.output_tuples;
     stats.metrics.Merge(join_stats.metrics);
-    for (const auto& [k, v] : join_stats.details) stats.details[k] = v;
     stats.Add(Metric::kDecodeMaterializationsAvoided,
               static_cast<double>(pr.records_routed_zero_copy +
                                   ps.records_routed_zero_copy));

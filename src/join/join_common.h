@@ -27,9 +27,9 @@ namespace tempo {
 /// structs can exchange them by slicing instead of field-by-field copies.
 struct VtJoinOptions : ExecOptions {};
 
-/// Execution report of one join run. Executor-specific counters are typed
-/// (MetricsRegistry over the declared Metric enum); the stringly-typed
-/// `details` map remains as a deprecated read-only mirror.
+/// Execution report of one join run. Executor-specific counters are typed:
+/// a MetricsRegistry over the declared Metric enum, so every counter a run
+/// can report is declared in obs/metrics.h with unit, owner and doc string.
 struct JoinRunStats {
   IoStats io;                ///< charged I/O performed by the executor
   uint64_t output_tuples = 0;
@@ -41,26 +41,13 @@ struct JoinRunStats {
   /// Weighted cost of the run under `model`.
   double Cost(const CostModel& model) const { return io.Cost(model); }
 
-  /// Records a metric: writes the typed registry and mirrors the value
-  /// into `details` under the metric's declared name.
-  void Set(Metric m, double value) {
-    metrics.Set(m, value);
-    details[GetMetricDef(m).name] = value;
-  }
+  void Set(Metric m, double value) { metrics.Set(m, value); }
 
-  /// Adds `delta` to a metric (unset counts as zero), mirroring as Set.
-  void Add(Metric m, double delta) {
-    metrics.Add(m, delta);
-    details[GetMetricDef(m).name] = metrics.Get(m);
-  }
+  /// Adds `delta` to a metric (unset counts as zero).
+  void Add(Metric m, double delta) { metrics.Add(m, delta); }
 
   double Get(Metric m) const { return metrics.Get(m); }
   bool Has(Metric m) const { return metrics.Has(m); }
-
-  /// Deprecated: stringly-typed view of `metrics`, kept so existing
-  /// callers of `stats.details.at("partitions")` keep working. Maintained
-  /// by Set/Add; do not write it directly — new code reads Get(Metric).
-  std::unordered_map<std::string, double> details;
 };
 
 /// Copies a run's typed metrics into the run's ExecContext (no-op on a

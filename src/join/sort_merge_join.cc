@@ -267,6 +267,7 @@ StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
     ss = std::move(sorted);
   }
   exec_span.AddMorsels(sort_morsels);
+  MergeHistogram(ctx, Hist::kMorselDurationUs, sort_morsels.duration_hist);
   IoStats sort_io = acct.stats() - before;
   TraceSpan sweep_span = SpanIf(ctx, Phase::kMergeSweep);
 

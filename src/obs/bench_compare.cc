@@ -1,0 +1,150 @@
+#include "obs/bench_compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/bench_report.h"
+
+namespace tempo {
+
+namespace {
+
+bool Contains(std::string_view key, std::string_view needle) {
+  return key.find(needle) != std::string_view::npos;
+}
+
+bool EndsWith(std::string_view key, std::string_view suffix) {
+  return key.size() >= suffix.size() &&
+         key.substr(key.size() - suffix.size()) == suffix;
+}
+
+const Json* FindPoint(const Json& points, const std::string& label) {
+  for (const Json& point : points.elements()) {
+    const Json* l = point.Find("label");
+    if (l != nullptr && l->is_string() && l->AsString() == label) {
+      return &point;
+    }
+  }
+  return nullptr;
+}
+
+/// Config keys that must match for a comparison to be meaningful: a
+/// baseline at one scale or seed says nothing about a run at another.
+constexpr const char* kIdentityKeys[] = {"scale", "threads", "seed",
+                                         "cost_model_ratio"};
+
+}  // namespace
+
+bool IsVolatileBenchKey(std::string_view key) {
+  return Contains(key, "wall") || Contains(key, "second") ||
+         Contains(key, "time") || Contains(key, "latency") ||
+         Contains(key, "efficiency") || EndsWith(key, "_ns") ||
+         EndsWith(key, "_us") || Contains(key, "iterations");
+}
+
+StatusOr<BenchCompareResult> CompareBenchReports(
+    const Json& baseline, const Json& current,
+    const BenchCompareOptions& options) {
+  TEMPO_RETURN_IF_ERROR(BenchReport::Validate(baseline));
+  TEMPO_RETURN_IF_ERROR(BenchReport::Validate(current));
+
+  BenchCompareResult result;
+
+  const std::string& base_name = baseline.Find("bench")->AsString();
+  const std::string& cur_name = current.Find("bench")->AsString();
+  if (base_name != cur_name) {
+    result.comparable = false;
+    result.notes.push_back("different benches: baseline=" + base_name +
+                           " current=" + cur_name);
+    return result;
+  }
+
+  const Json* base_config = baseline.Find("config");
+  const Json* cur_config = current.Find("config");
+  for (const char* key : kIdentityKeys) {
+    const Json* b = base_config->Find(key);
+    const Json* c = cur_config->Find(key);
+    if (b == nullptr && c == nullptr) continue;
+    const bool match = b != nullptr && c != nullptr && b->is_number() &&
+                       c->is_number() && b->AsNumber() == c->AsNumber();
+    if (!match) {
+      result.comparable = false;
+      result.notes.push_back(
+          std::string("config mismatch on ") + key + ": baseline=" +
+          (b == nullptr ? "<absent>" : JsonNumberToString(b->AsNumber())) +
+          " current=" +
+          (c == nullptr ? "<absent>" : JsonNumberToString(c->AsNumber())));
+    }
+  }
+  if (!result.comparable) return result;
+
+  const Json* base_points = baseline.Find("points");
+  const Json* cur_points = current.Find("points");
+  for (const Json& base_point : base_points->elements()) {
+    const std::string& label = base_point.Find("label")->AsString();
+    const Json* cur_point = FindPoint(*cur_points, label);
+    if (cur_point == nullptr) {
+      result.notes.push_back("point only in baseline: " + label);
+      continue;
+    }
+    ++result.points_compared;
+    const Json* base_values = base_point.Find("values");
+    const Json* cur_values = cur_point->Find("values");
+    for (const auto& [key, base_value] : base_values->members()) {
+      if (IsVolatileBenchKey(key)) {
+        ++result.values_skipped_volatile;
+        continue;
+      }
+      const Json* cur_value = cur_values->Find(key);
+      if (cur_value == nullptr) {
+        result.notes.push_back("value only in baseline: " + label + "/" + key);
+        continue;
+      }
+      ++result.values_compared;
+      const double b = base_value.AsNumber();
+      const double c = cur_value->AsNumber();
+      const double rel = (c - b) / std::max(std::fabs(b), 1.0);
+      if (std::fabs(rel) <= options.tolerance) continue;
+      BenchCompareDiff diff;
+      diff.point = label;
+      diff.key = key;
+      diff.baseline = b;
+      diff.current = c;
+      diff.relative = rel;
+      diff.regression = c > b;
+      result.diffs.push_back(std::move(diff));
+    }
+  }
+  for (const Json& cur_point : cur_points->elements()) {
+    const std::string& label = cur_point.Find("label")->AsString();
+    if (FindPoint(*base_points, label) == nullptr) {
+      result.notes.push_back("point only in current: " + label);
+    }
+  }
+  return result;
+}
+
+std::string BenchCompareResult::Render() const {
+  std::ostringstream out;
+  if (!comparable) {
+    out << "NOT COMPARABLE\n";
+  } else {
+    out << points_compared << " points, " << values_compared
+        << " values compared (" << values_skipped_volatile
+        << " volatile skipped): " << num_regressions() << " regressions, "
+        << diffs.size() - num_regressions() << " improvements\n";
+  }
+  for (const std::string& note : notes) out << "  note: " << note << "\n";
+  for (const BenchCompareDiff& d : diffs) {
+    out << "  " << (d.regression ? "REGRESSION" : "improvement") << " "
+        << d.point << "/" << d.key << ": " << JsonNumberToString(d.baseline)
+        << " -> " << JsonNumberToString(d.current) << " ("
+        << (d.relative >= 0 ? "+" : "")
+        << JsonNumberToString(d.relative * 100.0) << "%)\n";
+  }
+  if (ok()) out << "OK\n";
+  return out.str();
+}
+
+}  // namespace tempo

@@ -1,0 +1,71 @@
+#ifndef TEMPO_OBS_BENCH_COMPARE_H_
+#define TEMPO_OBS_BENCH_COMPARE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/statusor.h"
+
+namespace tempo {
+
+/// Comparison knobs for two BENCH_*.json reports.
+struct BenchCompareOptions {
+  /// Maximum tolerated relative increase of a deterministic value before
+  /// it is flagged as a regression. Charged I/O and costs reproduce
+  /// exactly for a fixed seed under the per-file head model, so the
+  /// default only forgives rounding-level drift.
+  double tolerance = 0.02;
+};
+
+/// One value that moved beyond tolerance between baseline and current.
+struct BenchCompareDiff {
+  std::string point;  ///< point label
+  std::string key;    ///< value key within the point
+  double baseline = 0.0;
+  double current = 0.0;
+  /// (current - baseline) / max(|baseline|, 1): positive means the
+  /// current run is more expensive.
+  double relative = 0.0;
+  bool regression = false;  ///< true when current > baseline (worse)
+};
+
+/// Outcome of CompareBenchReports. `ok()` is the CI gate: false when the
+/// reports are not comparable (different bench / scale / seed) or any
+/// deterministic value regressed beyond tolerance. Improvements are
+/// reported but do not fail.
+struct BenchCompareResult {
+  bool comparable = true;
+  std::vector<std::string> notes;  ///< config mismatches, unmatched points
+  std::vector<BenchCompareDiff> diffs;
+  size_t points_compared = 0;
+  size_t values_compared = 0;
+  size_t values_skipped_volatile = 0;
+
+  size_t num_regressions() const {
+    size_t n = 0;
+    for (const BenchCompareDiff& d : diffs) n += d.regression ? 1 : 0;
+    return n;
+  }
+  bool ok() const { return comparable && num_regressions() == 0; }
+
+  /// Human-readable multi-line report.
+  std::string Render() const;
+};
+
+/// True for value keys whose name implies wall-clock measurement
+/// (wall/second/time/latency/efficiency, or an _ns/_us suffix) — those
+/// never reproduce across machines and are excluded from comparison.
+bool IsVolatileBenchKey(std::string_view key);
+
+/// Compares two parsed bench reports (both must pass
+/// BenchReport::Validate). Points are matched by label; keys present in
+/// only one side are noted, not failed, so adding a new column does not
+/// break an old baseline.
+StatusOr<BenchCompareResult> CompareBenchReports(
+    const Json& baseline, const Json& current,
+    const BenchCompareOptions& options = {});
+
+}  // namespace tempo
+
+#endif  // TEMPO_OBS_BENCH_COMPARE_H_

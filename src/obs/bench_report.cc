@@ -1,0 +1,110 @@
+#include "obs/bench_report.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <unordered_set>
+
+#include "obs/export.h"
+
+namespace tempo {
+
+Json& BenchReport::Point(const std::string& label) {
+  for (Json& element : points_.elements()) {
+    const Json* l = element.Find("label");
+    if (l != nullptr && l->is_string() && l->AsString() == label) {
+      return *element.Find("values");
+    }
+  }
+  Json point = Json::Object();
+  point.Set("label", label);
+  Json& stored = points_.Append(std::move(point));
+  return stored.Set("values", Json::Object());
+}
+
+void BenchReport::AttachMetrics(const MetricsRegistry& metrics,
+                                bool include_timing) {
+  metrics_ = MetricsToJson(metrics, include_timing);
+}
+
+Json BenchReport::ToJson() const {
+  Json doc = Json::Object();
+  doc.Set("schema_version", kSchemaVersion);
+  doc.Set("bench", name_);
+  doc.Set("config", config_);
+  doc.Set("points", points_);
+  if (!metrics_.is_null()) doc.Set("metrics", metrics_);
+  return doc;
+}
+
+Status BenchReport::Validate(const Json& doc) {
+  if (!doc.is_object()) return Status::InvalidArgument("report is not an object");
+  const Json* version = doc.Find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    return Status::InvalidArgument("missing numeric schema_version");
+  }
+  if (version->AsNumber() != kSchemaVersion) {
+    return Status::InvalidArgument(
+        "unsupported schema_version " + JsonNumberToString(version->AsNumber()) +
+        " (expected " + std::to_string(kSchemaVersion) + ")");
+  }
+  const Json* bench = doc.Find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->AsString().empty()) {
+    return Status::InvalidArgument("missing bench name");
+  }
+  const Json* config = doc.Find("config");
+  if (config == nullptr || !config->is_object()) {
+    return Status::InvalidArgument("missing config object");
+  }
+  const Json* points = doc.Find("points");
+  if (points == nullptr || !points->is_array()) {
+    return Status::InvalidArgument("missing points array");
+  }
+  std::unordered_set<std::string> labels;
+  for (const Json& point : points->elements()) {
+    if (!point.is_object()) {
+      return Status::InvalidArgument("point is not an object");
+    }
+    const Json* label = point.Find("label");
+    if (label == nullptr || !label->is_string() || label->AsString().empty()) {
+      return Status::InvalidArgument("point without a label");
+    }
+    if (!labels.insert(label->AsString()).second) {
+      return Status::InvalidArgument("duplicate point label: " +
+                                     label->AsString());
+    }
+    const Json* values = point.Find("values");
+    if (values == nullptr || !values->is_object()) {
+      return Status::InvalidArgument("point without a values object: " +
+                                     label->AsString());
+    }
+    for (const auto& [key, value] : values->members()) {
+      if (!value.is_number()) {
+        return Status::InvalidArgument("non-numeric value " + key +
+                                       " in point " + label->AsString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> BenchReport::WriteFile(const std::string& dir) const {
+  std::string path = dir;
+  if (!path.empty() && path.back() != '/') path += '/';
+  path += "BENCH_" + name_ + ".json";
+  const std::string text = ToJson().Dump(2) + "\n";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open bench report file: " + path);
+  out << text;
+  out.flush();
+  if (!out) return Status::Internal("short write to bench report: " + path);
+  return path;
+}
+
+std::string BenchJsonDir() {
+  const char* env = std::getenv("TEMPO_BENCH_JSON");
+  if (env == nullptr || env[0] == '\0') return "";
+  std::string dir(env);
+  return dir == "1" ? "." : dir;
+}
+
+}  // namespace tempo

@@ -1,0 +1,89 @@
+#ifndef TEMPO_OBS_BENCH_REPORT_H_
+#define TEMPO_OBS_BENCH_REPORT_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace tempo {
+
+/// Builder for the schema-versioned machine-readable bench report every
+/// figure/ablation/micro binary emits (BENCH_<name>.json). Layout:
+///
+///   {
+///     "schema_version": 1,
+///     "bench": "<name>",
+///     "config": { "scale": ..., "threads": ..., "seed": ...,
+///                 "cost_model_ratio": ..., ... },
+///     "points": [
+///       { "label": "<unique per report>",
+///         "values": { "<key>": <number>, ... } },
+///       ...
+///     ],
+///     "metrics": { "scalars": {...}, "histograms": {...} }   // optional
+///   }
+///
+/// Point labels are the join keys `tools/bench_compare` matches on, so
+/// they must be stable across runs (derive them from sweep parameters,
+/// never from timing or iteration counts). Value keys whose name implies
+/// wall-clock (wall/seconds/time/latency/efficiency/_ns/_us) are treated
+/// as volatile by the comparer; everything else — charged I/O, costs,
+/// output cardinalities — is expected to reproduce within tolerance.
+class BenchReport {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Sets one config entry (scale, threads, seed, ...).
+  void SetConfig(const std::string& key, Json value) {
+    config_.Set(key, std::move(value));
+  }
+
+  /// The values object of point `label`, created on first use (so a sweep
+  /// can accumulate several keyed values into one point). Labels keep
+  /// insertion order in the emitted JSON.
+  Json& Point(const std::string& label);
+
+  /// Shorthand: Point(label).Set(key, value).
+  void Add(const std::string& label, const std::string& key, Json value) {
+    Point(label).Set(key, std::move(value));
+  }
+
+  /// Attaches a metrics snapshot (MetricsToJson) to the report.
+  void AttachMetrics(const MetricsRegistry& metrics, bool include_timing);
+
+  size_t num_points() const { return points_.size(); }
+
+  Json ToJson() const;
+
+  /// Structural check of a parsed report: schema version, bench name,
+  /// config object, points array of {label, values-object-of-numbers}
+  /// with unique labels. The round-trip test and bench_compare both call
+  /// this before trusting a document.
+  static Status Validate(const Json& doc);
+
+  /// Writes ToJson() pretty-printed to `<dir>/BENCH_<name>.json` and
+  /// returns the path written.
+  StatusOr<std::string> WriteFile(const std::string& dir) const;
+
+ private:
+  std::string name_;
+  Json config_ = Json::Object();
+  Json points_ = Json::Array();
+  Json metrics_;  // null until attached
+};
+
+/// Destination directory for bench JSON reports, from TEMPO_BENCH_JSON:
+/// unset/empty => "" (no reports written, output byte-identical to before
+/// the export layer existed); "1" => "." (current directory); anything
+/// else => that directory.
+std::string BenchJsonDir();
+
+}  // namespace tempo
+
+#endif  // TEMPO_OBS_BENCH_REPORT_H_

@@ -22,12 +22,20 @@ namespace tempo {
 ///   - a Tracer of phase-scoped spans (wall-clock, exclusive charged I/O
 ///     split random/sequential, buffer hit/miss deltas, per-worker morsel
 ///     timings),
-///   - a MetricsRegistry of typed counters (the replacement for the
-///     stringly-typed JoinRunStats details map),
+///   - a MetricsRegistry of typed counters and log-bucketed histograms,
 /// and feeds the ExplainAnalyze renderer.
 class ExecContext {
  public:
   ExecContext() = default;
+
+  /// Uninstalls the page-read latency sink from the bound accountant (if
+  /// still ours) so the accountant never dereferences a dead registry.
+  ~ExecContext() {
+    if (accountant_ != nullptr) {
+      accountant_->ClearLatencySink(
+          &metrics_.histogram(Hist::kPageReadLatencyUs));
+    }
+  }
 
   ExecContext(const ExecContext&) = delete;
   ExecContext& operator=(const ExecContext&) = delete;
@@ -40,8 +48,20 @@ class ExecContext {
 
   /// Binds the disk's accountant so spans can attribute charged I/O.
   /// Call once before execution; spans opened with no accountant bound
-  /// still measure wall-clock but report zero I/O.
-  void BindAccountant(IoAccountant* accountant) { accountant_ = accountant; }
+  /// still measure wall-clock but report zero I/O. Binding also installs
+  /// this context's page-read latency histogram as the accountant's sink,
+  /// so Disk starts timing reads; the destructor uninstalls it.
+  void BindAccountant(IoAccountant* accountant) {
+    if (accountant_ != nullptr && accountant_ != accountant) {
+      accountant_->ClearLatencySink(
+          &metrics_.histogram(Hist::kPageReadLatencyUs));
+    }
+    accountant_ = accountant;
+    if (accountant_ != nullptr) {
+      accountant_->SetLatencySink(
+          &metrics_.histogram(Hist::kPageReadLatencyUs));
+    }
+  }
   IoAccountant* accountant() const { return accountant_; }
 
   /// Registers a buffer pool so spans can report hit/miss deltas.
@@ -121,6 +141,12 @@ inline void SetMetric(ExecContext* ctx, Metric m, double value) {
 }
 inline void AddMetric(ExecContext* ctx, Metric m, double delta) {
   if (ctx != nullptr) ctx->metrics().Add(m, delta);
+}
+inline void RecordHistogram(ExecContext* ctx, Hist h, double value) {
+  if (ctx != nullptr) ctx->metrics().Record(h, value);
+}
+inline void MergeHistogram(ExecContext* ctx, Hist h, const LogHistogram& src) {
+  if (ctx != nullptr) ctx->metrics().histogram(h).Merge(src);
 }
 
 }  // namespace tempo

@@ -13,6 +13,13 @@ constexpr std::array<MetricDef, kNumMetrics> kMetricDefs = {{
 #undef TEMPO_METRIC_DEF
 }};
 
+constexpr std::array<HistogramDef, kNumHistograms> kHistogramDefs = {{
+#define TEMPO_HISTOGRAM_DEF(id, name, unit, owner, doc) \
+  {Hist::k##id, name, unit, owner, doc},
+    TEMPO_HISTOGRAM_LIST(TEMPO_HISTOGRAM_DEF)
+#undef TEMPO_HISTOGRAM_DEF
+}};
+
 }  // namespace
 
 const std::array<MetricDef, kNumMetrics>& AllMetricDefs() {
@@ -30,11 +37,32 @@ const MetricDef* FindMetricByName(std::string_view name) {
   return nullptr;
 }
 
+const std::array<HistogramDef, kNumHistograms>& AllHistogramDefs() {
+  return kHistogramDefs;
+}
+
+const HistogramDef& GetHistogramDef(Hist h) {
+  return kHistogramDefs[static_cast<size_t>(h)];
+}
+
+const HistogramDef* FindHistogramByName(std::string_view name) {
+  for (const HistogramDef& def : kHistogramDefs) {
+    if (name == def.name) return &def;
+  }
+  return nullptr;
+}
+
 std::string MetricsRegistry::Describe() {
   std::ostringstream out;
   out << "| Metric | Unit | Emitted by | Description |\n";
   out << "|--------|------|------------|-------------|\n";
   for (const MetricDef& def : kMetricDefs) {
+    out << "| `" << def.name << "` | " << def.unit << " | " << def.owner
+        << " | " << def.doc << " |\n";
+  }
+  out << "\n| Histogram | Unit | Recorded by | Description |\n";
+  out << "|-----------|------|-------------|-------------|\n";
+  for (const HistogramDef& def : kHistogramDefs) {
     out << "| `" << def.name << "` | " << def.unit << " | " << def.owner
         << " | " << def.doc << " |\n";
   }

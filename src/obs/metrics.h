@@ -7,13 +7,16 @@
 #include <string>
 #include <string_view>
 
+#include "common/histogram.h"
+
 namespace tempo {
 
-/// The single declaration point for every metric an executor may emit:
+/// The single declaration point for every scalar metric an executor may
+/// emit:
 ///   TEMPO_METRIC(enumerator, "name", "unit", "owner", "doc")
 ///
-/// The enumerator becomes Metric::k<enumerator>; the name is the key the
-/// deprecated JoinRunStats::details map mirrors it under (and what
+/// The enumerator becomes Metric::k<enumerator>; the name is the stable
+/// key the JSON exporters emit it under (and what
 /// MetricsRegistry::Describe() documents). Adding a metric here is the
 /// only way to emit one — the typed Set/Add API cannot name an undeclared
 /// metric, which is the point of the registry.
@@ -78,6 +81,29 @@ namespace tempo {
   M(PlannedCost, "planned_cost", "cost", "ExecuteVtJoin",                     \
     "Planner-estimated I/O cost of the chosen algorithm.")
 
+/// The declaration point for every histogram-kind metric, parallel to
+/// TEMPO_METRIC_LIST:
+///   TEMPO_HISTOGRAM(enumerator, "name", "unit", "owner", "doc")
+///
+/// Histograms are log-bucketed sample distributions (LogHistogram) rather
+/// than single values: a run records many page-read latencies or morsel
+/// durations, and the export layer snapshots the full distribution.
+/// Like scalar metrics, the typed API cannot name an undeclared one.
+#define TEMPO_HISTOGRAM_LIST(H)                                               \
+  H(PageReadLatencyUs, "page_read_latency_us", "us", "Disk / IoAccountant",   \
+    "Wall-clock latency of each charged or uncharged page read, captured at " \
+    "the Disk boundary while an ExecContext has the accountant bound. "       \
+    "Simulated storage, so this measures copy + lock time, not seeks.")       \
+  H(MorselDurationUs, "morsel_duration_us", "us", "parallel layer",           \
+    "Wall-clock duration of each morsel body dispatched by ParallelFor "      \
+    "(parallel regions only); the skew of this distribution is what the "     \
+    "morsel size knob trades against dispatch overhead.")                     \
+  H(CacheOccupancyTuples, "cache_occupancy_tuples", "tuples",                 \
+    "JoinPartitions",                                                         \
+    "Tuples resident in the backwards tuple cache at the end of each "        \
+    "partition — the per-partition footprint behind the aggregate "           \
+    "cache_tuples counter. Deterministic for a fixed seed.")
+
 /// Compile-time-checked identifier of a declared metric.
 enum class Metric : uint16_t {
 #define TEMPO_METRIC_ENUM(id, name, unit, owner, doc) k##id,
@@ -94,12 +120,37 @@ inline constexpr size_t kNumMetrics = []() constexpr {
   return n;
 }();
 
+/// Compile-time-checked identifier of a declared histogram.
+enum class Hist : uint16_t {
+#define TEMPO_HISTOGRAM_ENUM(id, name, unit, owner, doc) k##id,
+  TEMPO_HISTOGRAM_LIST(TEMPO_HISTOGRAM_ENUM)
+#undef TEMPO_HISTOGRAM_ENUM
+};
+
+/// Number of declared histograms.
+inline constexpr size_t kNumHistograms = []() constexpr {
+  size_t n = 0;
+#define TEMPO_HISTOGRAM_COUNT(id, name, unit, owner, doc) ++n;
+  TEMPO_HISTOGRAM_LIST(TEMPO_HISTOGRAM_COUNT)
+#undef TEMPO_HISTOGRAM_COUNT
+  return n;
+}();
+
 /// One metric's declaration.
 struct MetricDef {
   Metric id;
-  const char* name;   ///< stable key (also the deprecated details-map key)
+  const char* name;   ///< stable key (the metrics-JSON / bench-JSON key)
   const char* unit;   ///< count, pages, tuples, ops, cost, ratio, flag, enum
   const char* owner;  ///< executor(s) that emit it
+  const char* doc;    ///< one-line description
+};
+
+/// One histogram's declaration.
+struct HistogramDef {
+  Hist id;
+  const char* name;   ///< stable key (the metrics-JSON / bench-JSON key)
+  const char* unit;   ///< unit of the recorded samples (us, tuples, ...)
+  const char* owner;  ///< subsystem that records it
   const char* doc;    ///< one-line description
 };
 
@@ -113,9 +164,18 @@ const std::array<MetricDef, kNumMetrics>& AllMetricDefs();
 /// conformance test that asserts no executor emits an undeclared key.
 const MetricDef* FindMetricByName(std::string_view name);
 
-/// Typed replacement for the stringly-typed JoinRunStats details map: a
-/// fixed-slot value store over the declared metrics. Unset metrics are
-/// distinguishable from zero-valued ones.
+/// Declaration of `h`.
+const HistogramDef& GetHistogramDef(Hist h);
+
+/// All declared histograms, in declaration order.
+const std::array<HistogramDef, kNumHistograms>& AllHistogramDefs();
+
+/// Looks a histogram up by its stable name; null when undeclared.
+const HistogramDef* FindHistogramByName(std::string_view name);
+
+/// The typed store of executor counters: a fixed-slot value store over
+/// the declared scalar metrics (unset metrics are distinguishable from
+/// zero-valued ones) plus one LogHistogram slot per declared histogram.
 class MetricsRegistry {
  public:
   void Set(Metric m, double value) {
@@ -135,7 +195,8 @@ class MetricsRegistry {
     return present_.test(Index(m)) ? values_[Index(m)] : 0.0;
   }
 
-  /// Copies every metric present in `other` into this registry.
+  /// Copies every metric present in `other` into this registry and folds
+  /// `other`'s histogram samples into this one's.
   void Merge(const MetricsRegistry& other) {
     for (size_t i = 0; i < kNumMetrics; ++i) {
       if (other.present_.test(i)) {
@@ -143,9 +204,39 @@ class MetricsRegistry {
         present_.set(i);
       }
     }
+    for (size_t i = 0; i < kNumHistograms; ++i) {
+      if (other.hists_[i].count() != 0) hists_[i].Merge(other.hists_[i]);
+    }
   }
 
   size_t size() const { return present_.count(); }
+
+  /// The histogram slot for `h`. Record() and Merge() on the returned
+  /// reference are thread-safe; the registry itself never locks.
+  LogHistogram& histogram(Hist h) { return hists_[HistIndex(h)]; }
+  const LogHistogram& histogram(Hist h) const { return hists_[HistIndex(h)]; }
+
+  /// Records one sample into histogram `h`.
+  void Record(Hist h, double value) { histogram(h).Record(value); }
+
+  /// Number of histograms with at least one sample.
+  size_t num_histograms_set() const {
+    size_t n = 0;
+    for (const LogHistogram& hist : hists_) {
+      if (hist.count() != 0) ++n;
+    }
+    return n;
+  }
+
+  /// Invokes `fn(const HistogramDef&, const LogHistogram&)` for each
+  /// histogram with at least one sample, in declaration order.
+  template <typename Fn>
+  void ForEachHistogram(Fn&& fn) const {
+    const auto& defs = AllHistogramDefs();
+    for (size_t i = 0; i < kNumHistograms; ++i) {
+      if (hists_[i].count() != 0) fn(defs[i], hists_[i]);
+    }
+  }
 
   /// Invokes `fn(const MetricDef&, double value)` for each set metric, in
   /// declaration order.
@@ -157,16 +248,18 @@ class MetricsRegistry {
     }
   }
 
-  /// Markdown table documenting every *declared* metric (name, unit,
-  /// owner, description) — the generated source of the DESIGN.md
-  /// observability appendix.
+  /// Markdown tables documenting every *declared* metric and histogram
+  /// (name, unit, owner, description) — the generated source of the
+  /// DESIGN.md observability appendix.
   static std::string Describe();
 
  private:
   static size_t Index(Metric m) { return static_cast<size_t>(m); }
+  static size_t HistIndex(Hist h) { return static_cast<size_t>(h); }
 
   std::array<double, kNumMetrics> values_{};
   std::bitset<kNumMetrics> present_;
+  std::array<LogHistogram, kNumHistograms> hists_;
 };
 
 }  // namespace tempo

@@ -43,6 +43,7 @@ Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
         const double spent = Seconds(t0, Clock::now());
         const int worker = ThreadPool::CurrentWorkerIndex();
         const size_t slot = worker < 0 ? 0 : static_cast<size_t>(worker);
+        if (stats != nullptr) stats->duration_hist.Record(spent * 1e6);
         std::lock_guard<std::mutex> lock(mu);
         busy += spent;
         if (pool != nullptr) {

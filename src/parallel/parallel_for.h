@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/status.h"
 #include "parallel/thread_pool.h"
 
@@ -46,6 +47,10 @@ struct MorselStats {
   /// inline on a coordinator (serial fallback). Sized lazily to the highest
   /// worker seen, so serial runs carry an empty vector.
   std::vector<double> per_worker_busy;
+  /// Distribution of individual morsel durations (microseconds); the mean
+  /// matches busy_seconds/morsels_dispatched but the tail exposes skewed
+  /// morsels that the aggregate hides.
+  LogHistogram duration_hist;
 
   void Merge(const MorselStats& other) {
     morsels_dispatched += other.morsels_dispatched;
@@ -57,6 +62,7 @@ struct MorselStats {
     for (size_t i = 0; i < other.per_worker_busy.size(); ++i) {
       per_worker_busy[i] += other.per_worker_busy[i];
     }
+    duration_hist.Merge(other.duration_hist);
   }
 
   double Efficiency(uint32_t num_threads) const {

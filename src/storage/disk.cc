@@ -1,5 +1,7 @@
 #include "storage/disk.h"
 
+#include <chrono>
+
 namespace tempo {
 
 FileId Disk::CreateFile(std::string name) {
@@ -67,15 +69,28 @@ Status Disk::CheckFault() {
 }
 
 Status Disk::ReadPage(FileId id, uint32_t page_no, Page* out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  TEMPO_ASSIGN_OR_RETURN(File * f, Find(id));
-  if (page_no >= f->pages.size()) {
-    return Status::OutOfRange("read past EOF: page " + std::to_string(page_no) +
-                              " of " + f->name);
+  // Latency capture at the Disk/IoAccountant boundary: only when an
+  // ExecContext installed a sink. The timed window includes lock wait, so
+  // contention between the parallel coordinators shows up in the tail.
+  LogHistogram* latency = accountant_.latency_sink();
+  std::chrono::steady_clock::time_point t0;
+  if (latency != nullptr) t0 = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TEMPO_ASSIGN_OR_RETURN(File * f, Find(id));
+    if (page_no >= f->pages.size()) {
+      return Status::OutOfRange("read past EOF: page " +
+                                std::to_string(page_no) + " of " + f->name);
+    }
+    TEMPO_RETURN_IF_ERROR(CheckFault());
+    accountant_.RecordRead(id, page_no, f->charged);
+    *out = *f->pages[page_no];
   }
-  TEMPO_RETURN_IF_ERROR(CheckFault());
-  accountant_.RecordRead(id, page_no, f->charged);
-  *out = *f->pages[page_no];
+  if (latency != nullptr) {
+    latency->Record(std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
+  }
   return Status::OK();
 }
 

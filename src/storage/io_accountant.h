@@ -1,10 +1,13 @@
 #ifndef TEMPO_STORAGE_IO_ACCOUNTANT_H_
 #define TEMPO_STORAGE_IO_ACCOUNTANT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "common/histogram.h"
 
 namespace tempo {
 
@@ -125,6 +128,25 @@ class IoAccountant {
   void PushThreadCollector(IoStats* sink);
   void PopThreadCollector(IoStats* sink);
 
+  /// Optional page-read latency sink, installed by an ExecContext when it
+  /// binds this accountant. While set, Disk times each page read and
+  /// records the wall-clock microseconds here; while null (the default,
+  /// and any run without an ExecContext), no clock is ever read — the
+  /// zero-overhead guarantee of the null-context mode. The sink must
+  /// outlive its installation; ExecContext clears it on destruction.
+  void SetLatencySink(LogHistogram* sink) {
+    latency_sink_.store(sink, std::memory_order_release);
+  }
+  /// Clears the sink only if it is still `sink` (a newer context that
+  /// re-bound the accountant is left undisturbed).
+  void ClearLatencySink(LogHistogram* sink) {
+    latency_sink_.compare_exchange_strong(sink, nullptr,
+                                          std::memory_order_acq_rel);
+  }
+  LogHistogram* latency_sink() const {
+    return latency_sink_.load(std::memory_order_acquire);
+  }
+
   /// Snapshot of the counters.
   IoStats stats() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -155,6 +177,7 @@ class IoAccountant {
   uint64_t last_page_ = 0;
   // kPerFile state: last page touched per file.
   std::unordered_map<uint64_t, uint64_t> file_positions_;
+  std::atomic<LogHistogram*> latency_sink_{nullptr};
 };
 
 }  // namespace tempo

@@ -501,7 +501,7 @@ TEST_P(PartitionJoinOracleTest, MatchesReferenceJoin) {
   EXPECT_EQ(stats.output_tuples, expected.size());
   EXPECT_TRUE(SameTupleMultiset(actual, expected))
       << "got " << actual.size() << " tuples, want " << expected.size()
-      << " (partitions=" << stats.details.at("partitions") << ")";
+      << " (partitions=" << stats.Get(Metric::kPartitions) << ")";
 }
 
 std::vector<PartitionJoinCase> MakePartitionJoinCases() {
@@ -579,7 +579,7 @@ TEST(PartitionJoinTest, CacheTrafficGrowsWithLongLivedTuples) {
     PartitionJoinOptions options;
     options.buffer_pages = 16;
     auto stats = PartitionVtJoin(r.get(), s.get(), &out, options);
-    return stats->details.at("cache_tuples");
+    return stats->Get(Metric::kCacheTuples);
   };
   EXPECT_GT(run(0.5), run(0.0));
 }
@@ -604,7 +604,7 @@ TEST(PartitionJoinTest, ReplicationWritesMoreStorage) {
     options.placement = policy;
     options.forced_num_partitions = 8;
     auto stats = PartitionVtJoin(r.get(), s.get(), &out, options);
-    return stats->details.at("tuples_written");
+    return stats->Get(Metric::kTuplesWritten);
   };
   EXPECT_GT(run(PlacementPolicy::kReplicate),
             run(PlacementPolicy::kLastOverlap));
@@ -629,7 +629,7 @@ TEST(PartitionJoinTest, FitsInMemorySkipsPartitioning) {
   options.buffer_pages = 4096;
   TEMPO_ASSERT_OK_AND_ASSIGN(JoinRunStats stats,
                              PartitionVtJoin(r.get(), s.get(), &out, options));
-  EXPECT_EQ(stats.details.at("partitions"), 1.0);
+  EXPECT_EQ(stats.Get(Metric::kPartitions), 1.0);
   // Exactly one sequential pass over each input, nothing else.
   EXPECT_EQ(stats.io.total_ops(), r->num_pages() + s->num_pages());
   EXPECT_EQ(stats.io.random_reads, 2u);
@@ -656,7 +656,7 @@ TEST(PartitionJoinTest, OverflowChunksKeepCorrectness) {
   options.forced_num_partitions = 2;
   TEMPO_ASSERT_OK_AND_ASSIGN(JoinRunStats stats,
                              PartitionVtJoin(r.get(), s.get(), &out, options));
-  EXPECT_GT(stats.details.at("overflow_chunks"), 0.0);
+  EXPECT_GT(stats.Get(Metric::kOverflowChunks), 0.0);
   TEMPO_ASSERT_OK_AND_ASSIGN(
       std::vector<Tuple> expected,
       ReferenceValidTimeJoin(TestSchema(), r_tuples, SSchema(), s_tuples));

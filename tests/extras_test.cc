@@ -182,8 +182,8 @@ TEST(DeterminismTest, PartitionJoinIsReproducibleFromSeed) {
     auto stats = PartitionVtJoin(r.get(), s.get(), &out, options);
     EXPECT_TRUE(stats.ok());
     return std::make_tuple(stats->io, stats->output_tuples,
-                           stats->details.at("partitions"),
-                           stats->details.at("samples"));
+                           stats->Get(Metric::kPartitions),
+                           stats->Get(Metric::kSamples));
   };
   EXPECT_EQ(run(), run());
 }

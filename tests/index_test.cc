@@ -147,7 +147,7 @@ TEST_P(IndexedJoinOracleTest, MatchesReferenceJoin) {
   TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> actual, out.ReadAll());
   EXPECT_EQ(stats.output_tuples, expected.size());
   EXPECT_TRUE(SameTupleMultiset(actual, expected));
-  EXPECT_GT(stats.details.at("index_node_pages"), 0.0);
+  EXPECT_GT(stats.Get(Metric::kIndexNodePages), 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -180,7 +180,7 @@ TEST(IndexedJoinTest, LongLivedTuplesWidenScans) {
     options.buffer_pages = 16;
     auto stats = IndexedVtJoin(r.get(), s.get(), &out, options);
     EXPECT_TRUE(stats.ok());
-    return stats->details.at("inner_pages_scanned");
+    return stats->Get(Metric::kInnerPagesScanned);
   };
   EXPECT_GT(scanned_at(0.4), scanned_at(0.0) * 2);
 }

@@ -341,7 +341,7 @@ TEST(SortMergeTest, NoBackupWithoutLongLivedTuples) {
   options.buffer_pages = 64;
   TEMPO_ASSERT_OK_AND_ASSIGN(JoinRunStats stats,
                              SortMergeVtJoin(r.get(), s.get(), &out, options));
-  EXPECT_EQ(stats.details["backup_page_reads"], 0.0);
+  EXPECT_EQ(stats.Get(Metric::kBackupPageReads), 0.0);
 }
 
 TEST(SortMergeTest, LongLivedTuplesCauseBackupWhenMemoryTight) {
@@ -363,7 +363,7 @@ TEST(SortMergeTest, LongLivedTuplesCauseBackupWhenMemoryTight) {
   options.buffer_pages = 6;  // tiny window
   TEMPO_ASSERT_OK_AND_ASSIGN(JoinRunStats stats,
                              SortMergeVtJoin(r.get(), s.get(), &out, options));
-  EXPECT_GT(stats.details["backup_page_reads"], 0.0);
+  EXPECT_GT(stats.Get(Metric::kBackupPageReads), 0.0);
 }
 
 TEST(SortMergeTest, AmpleMemorySuppressesBackup) {
@@ -384,7 +384,7 @@ TEST(SortMergeTest, AmpleMemorySuppressesBackup) {
   options.buffer_pages = 4096;  // everything fits
   TEMPO_ASSERT_OK_AND_ASSIGN(JoinRunStats stats,
                              SortMergeVtJoin(r.get(), s.get(), &out, options));
-  EXPECT_EQ(stats.details["backup_page_reads"], 0.0);
+  EXPECT_EQ(stats.Get(Metric::kBackupPageReads), 0.0);
 }
 
 TEST(SortMergeTest, EmptyInputs) {

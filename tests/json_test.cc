@@ -1,0 +1,114 @@
+// Tests for the minimal JSON substrate of the export layer: build/dump,
+// strict parse, escaping, number round-trips, and the error paths the
+// bench_compare CLI relies on to reject malformed reports.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace tempo {
+namespace {
+
+TEST(JsonTest, BuildAndDumpCompact) {
+  Json doc = Json::Object();
+  doc.Set("name", "fig4");
+  doc.Set("version", 1);
+  doc.Set("ok", true);
+  doc.Set("missing", Json());
+  Json& arr = doc.Set("xs", Json::Array());
+  arr.Append(1.5);
+  arr.Append(-2);
+  EXPECT_EQ(doc.Dump(),
+            R"({"name":"fig4","version":1,"ok":true,"missing":null,)"
+            R"("xs":[1.5,-2]})");
+}
+
+TEST(JsonTest, DumpPrettyIsStable) {
+  Json doc = Json::Object();
+  doc.Set("a", 1);
+  Json& nested = doc.Set("b", Json::Object());
+  nested.Set("c", Json::Array());
+  EXPECT_EQ(doc.Dump(2), "{\n  \"a\": 1,\n  \"b\": {\n    \"c\": []\n  }\n}");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndSetReplaces) {
+  Json doc = Json::Object();
+  doc.Set("z", 1);
+  doc.Set("a", 2);
+  doc.Set("z", 3);  // replaces in place, keeps position
+  ASSERT_EQ(doc.members().size(), 2u);
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_EQ(doc.members()[0].second.AsNumber(), 3.0);
+  EXPECT_EQ(doc.members()[1].first, "a");
+}
+
+TEST(JsonTest, FindAndNumberOr) {
+  Json doc = Json::Object();
+  doc.Set("x", 4.25);
+  doc.Set("s", "not a number");
+  ASSERT_NE(doc.Find("x"), nullptr);
+  EXPECT_EQ(doc.Find("x")->AsNumber(), 4.25);
+  EXPECT_EQ(doc.Find("nope"), nullptr);
+  EXPECT_EQ(doc.NumberOr("x", -1.0), 4.25);
+  EXPECT_EQ(doc.NumberOr("s", -1.0), -1.0);
+  EXPECT_EQ(doc.NumberOr("nope", -1.0), -1.0);
+}
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  Json doc = Json::Object();
+  doc.Set("s", std::string("a\"b\\c\n\t\x01") + "z");
+  std::string dumped = doc.Dump();
+  EXPECT_NE(dumped.find("a\\\"b\\\\c\\n\\t\\u0001z"),
+            std::string::npos)
+      << dumped;
+  // And the parser inverts it.
+  auto back = Json::Parse(dumped);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Find("s")->AsString(), std::string("a\"b\\c\n\t\x01") + "z");
+}
+
+TEST(JsonTest, NumbersRoundTripExactly) {
+  for (double v : {0.0, -0.0, 1.0, -2.5, 0.1, 1e-9, 1e30, 16777217.0,
+                   123456789.123456789}) {
+    std::string s = JsonNumberToString(v);
+    auto parsed = Json::Parse(s);
+    ASSERT_TRUE(parsed.ok()) << s;
+    EXPECT_EQ(parsed->AsNumber(), v) << s;
+  }
+}
+
+TEST(JsonTest, ParseDumpRoundTripOfNestedDocument) {
+  const std::string text =
+      R"({"schema_version":1,"bench":"x","config":{"scale":64},)"
+      R"("points":[{"label":"a","values":{"k":1}},)"
+      R"({"label":"b","values":{}}],"flags":[true,false,null]})";
+  auto doc = Json::Parse(text);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Dump(), text);
+}
+
+TEST(JsonTest, ParseAcceptsWhitespaceAndUnicodeEscapes) {
+  auto doc = Json::Parse(" { \"a\" : [ 1 , \"\\u0041\\u00e9\" ] } ");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("a")->elements()[1].AsString(), "A\xc3\xa9");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "{'a':1}", "nul",
+        "1 2", "{\"a\":1} trailing", "\"unterminated", "{\"a\":1,}"}) {
+    EXPECT_FALSE(Json::Parse(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonTest, MutableFindAllowsInPlaceEdit) {
+  Json doc = Json::Object();
+  doc.Set("vals", Json::Object()).Set("x", 1);
+  doc.Find("vals")->Set("x", 2.0);
+  EXPECT_EQ(doc.Find("vals")->NumberOr("x", 0.0), 2.0);
+}
+
+}  // namespace
+}  // namespace tempo

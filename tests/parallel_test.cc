@@ -166,7 +166,7 @@ TEST(ParallelJoinTest, OverflowChunksMatchReferenceAcrossThreadCounts) {
     TEMPO_ASSERT_OK_AND_ASSIGN(
         JoinRunStats stats, PartitionVtJoin(r.get(), s.get(), &out, options));
 
-    EXPECT_GT(stats.details.at("overflow_chunks"), 0.0)
+    EXPECT_GT(stats.Get(Metric::kOverflowChunks), 0.0)
         << "workload must exercise the chunked outer-area path";
     TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> actual, out.ReadAll());
     EXPECT_TRUE(SameTupleMultiset(actual, expected))
@@ -400,7 +400,7 @@ TEST(ZeroCopyLockTest, AllExecutorsByteIdenticalAcrossThreadCounts) {
       ExecRun run;
       run.io = stats_or->io;
       run.output_tuples = stats_or->output_tuples;
-      run.views = stats_or->details.at("decode_materializations_avoided");
+      run.views = stats_or->Get(Metric::kDecodeMaterializationsAvoided);
       CapturePages(&out, &run);
       EXPECT_GT(run.views, 0.0)
           << exec.name << " must stream views through its hot loop";
@@ -439,7 +439,7 @@ TEST(ZeroCopyLockTest, CoalesceByteIdenticalAcrossThreadCounts) {
     ExecRun run;
     run.io = stats.io;
     run.output_tuples = stats.output_tuples;
-    run.views = stats.details.at("decode_materializations_avoided");
+    run.views = stats.Get(Metric::kDecodeMaterializationsAvoided);
     CapturePages(&out, &run);
     EXPECT_GT(run.views, 0.0);
     EXPECT_GT(run.output_tuples, 0u);

@@ -43,7 +43,7 @@ TEST(PartitionCoalesceTest, SinglePartitionPath) {
   options.buffer_pages = 1024;
   TEMPO_ASSERT_OK_AND_ASSIGN(JoinRunStats stats,
                              PartitionCoalesce(in.get(), &out, options));
-  EXPECT_EQ(stats.details.at("partitions"), 1.0);
+  EXPECT_EQ(stats.Get(Metric::kPartitions), 1.0);
   TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> result, out.ReadAll());
   ASSERT_EQ(result.size(), 1u);
   EXPECT_EQ(result[0].interval(), Interval(0, 10));

@@ -102,8 +102,8 @@ TEST(PlannerTest, ExecuteProducesCorrectResultAndAnnotations) {
   options.buffer_pages = 16;
   TEMPO_ASSERT_OK_AND_ASSIGN(JoinRunStats stats,
                              ExecuteVtJoin(r.get(), s.get(), &out, options));
-  EXPECT_TRUE(stats.details.count("planned_algorithm"));
-  EXPECT_TRUE(stats.details.count("planned_cost"));
+  EXPECT_TRUE(stats.Has(Metric::kPlannedAlgorithm));
+  EXPECT_TRUE(stats.Has(Metric::kPlannedCost));
 
   TEMPO_ASSERT_OK_AND_ASSIGN(
       std::vector<Tuple> expected,

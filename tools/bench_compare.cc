@@ -1,0 +1,90 @@
+// bench_compare: diff two BENCH_*.json reports and fail on charged-I/O
+// regression beyond tolerance.
+//
+//   bench_compare <baseline.json> <current.json> [--tolerance=0.02]
+//
+// Exit codes: 0 = no regression; 1 = regression or reports not
+// comparable (bench/scale/seed mismatch); 2 = usage, I/O or parse error.
+// Wall-clock-valued keys are never compared (see IsVolatileBenchKey), so
+// the gate is stable across machines: it trips only on deterministic
+// quantities — charged I/O, priced costs, output cardinalities.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+#include "obs/bench_compare.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_compare <baseline.json> <current.json> "
+      "[--tolerance=<rel>]\n");
+  return 2;
+}
+
+tempo::StatusOr<tempo::Json> LoadReport(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return tempo::Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  tempo::StatusOr<tempo::Json> doc = tempo::Json::Parse(buf.str());
+  if (!doc.ok()) {
+    return tempo::Status::InvalidArgument(
+        path + ": " + std::string(doc.status().message()));
+  }
+  return doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tempo::BenchCompareOptions options;
+  std::string paths[2];
+  int num_paths = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--tolerance=", 0) == 0) {
+      char* end = nullptr;
+      const std::string value = arg.substr(12);
+      const double tol = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || tol < 0) {
+        std::fprintf(stderr, "bad --tolerance value: %s\n", value.c_str());
+        return 2;
+      }
+      options.tolerance = tol;
+    } else if (num_paths < 2) {
+      paths[num_paths++] = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (num_paths != 2) return Usage();
+
+  tempo::StatusOr<tempo::Json> baseline = LoadReport(paths[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+    return 2;
+  }
+  tempo::StatusOr<tempo::Json> current = LoadReport(paths[1]);
+  if (!current.ok()) {
+    std::fprintf(stderr, "%s\n", current.status().ToString().c_str());
+    return 2;
+  }
+
+  tempo::StatusOr<tempo::BenchCompareResult> result =
+      tempo::CompareBenchReports(*baseline, *current, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("bench_compare %s vs %s (tolerance %.4f)\n%s", paths[0].c_str(),
+              paths[1].c_str(), options.tolerance,
+              result->Render().c_str());
+  return result->ok() ? 0 : 1;
+}
