@@ -1,7 +1,6 @@
 #ifndef TEMPO_BENCH_BENCH_UTIL_H_
 #define TEMPO_BENCH_BENCH_UTIL_H_
 
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "common/env.h"
 #include "common/format.h"
 #include "core/partition_join.h"
 #include "join/nested_loop_join.h"
@@ -21,25 +21,14 @@
 
 namespace tempo::bench {
 
-/// Strict positive-integer env parser. The whole value must be a decimal
-/// integer >= 1 (strtol endptr check): trailing garbage ("16x", "8 "),
-/// overflow and non-numeric values are *rejected* with a stderr warning
-/// rather than silently half-parsed, and the default is used instead.
+/// Strict positive-integer env parser: EnvStrictUint64 (common/env.h)
+/// narrowed to the uint32 bench knobs. Trailing garbage, overflow and
+/// non-numeric values are rejected with a stderr warning and the default
+/// is used instead.
 inline uint32_t EnvUint(const char* name, uint32_t fallback) {
-  const char* env = std::getenv(name);
-  if (env == nullptr || *env == '\0') return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const long v = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || errno == ERANGE || v < 1 ||
-      v > static_cast<long>(std::numeric_limits<uint32_t>::max())) {
-    std::fprintf(stderr,
-                 "warning: ignoring malformed %s=\"%s\" (want a positive "
-                 "decimal integer); using %u\n",
-                 name, env, fallback);
-    return fallback;
-  }
-  return static_cast<uint32_t>(v);
+  return static_cast<uint32_t>(
+      EnvStrictUint64(name, fallback,
+                      std::numeric_limits<uint32_t>::max()));
 }
 
 /// All figure benches honor TEMPO_BENCH_SCALE: relation cardinalities, the

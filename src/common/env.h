@@ -1,0 +1,41 @@
+#ifndef TEMPO_COMMON_ENV_H_
+#define TEMPO_COMMON_ENV_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace tempo {
+
+/// Strict positive-integer env parser, shared by the bench knobs
+/// (TEMPO_BENCH_SCALE, TEMPO_BENCH_THREADS) and the runtime knobs
+/// (TEMPO_RADIX_THRESHOLD_MB). The whole value must be a decimal integer
+/// in [1, max] (strtoll endptr check): trailing garbage ("16x", "8 "),
+/// overflow and non-numeric values are *rejected* with a stderr warning
+/// naming the bad value rather than silently half-parsed, and `fallback`
+/// is used instead.
+inline uint64_t EnvStrictUint64(
+    const char* name, uint64_t fallback,
+    uint64_t max = static_cast<uint64_t>(
+        std::numeric_limits<long long>::max())) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || v < 1 ||
+      static_cast<uint64_t>(v) > max) {
+    std::fprintf(stderr,
+                 "warning: ignoring malformed %s=\"%s\" (want a positive "
+                 "decimal integer); using %llu\n",
+                 name, env, static_cast<unsigned long long>(fallback));
+    return fallback;
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace tempo
+
+#endif  // TEMPO_COMMON_ENV_H_

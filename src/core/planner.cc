@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "core/radix_join.h"
 #include "join/nested_loop_join.h"
 #include "join/sort_merge_join.h"
 
@@ -16,6 +18,8 @@ const char* JoinAlgorithmName(JoinAlgorithm a) {
       return "sort-merge";
     case JoinAlgorithm::kPartition:
       return "partition";
+    case JoinAlgorithm::kInMemoryRadix:
+      return "in-memory-radix";
   }
   return "?";
 }
@@ -88,6 +92,11 @@ double EstimatePartitionJoinCost(uint32_t pages_r, uint32_t pages_s,
   return sampling + partition_io;
 }
 
+double EstimateRadixJoinCost(uint32_t pages_r, uint32_t pages_s,
+                             const CostModel& model) {
+  return model.Cost(2, pages_r + pages_s >= 2 ? pages_r + pages_s - 2 : 0);
+}
+
 JoinPlan PlanVtJoin(StoredRelation* r, StoredRelation* s,
                     const VtJoinOptions& options) {
   const uint32_t pr = r->num_pages();
@@ -96,6 +105,25 @@ JoinPlan PlanVtJoin(StoredRelation* r, StoredRelation* s,
   const CostModel& m = options.cost_model;
 
   JoinPlan plan;
+  // The radix candidate goes first: at equal estimated I/O (it ties
+  // nested-loops and the in-memory partition path when everything fits),
+  // stable_sort keeps it ahead — flat columnar probing beats the
+  // tuple-at-a-time paths on CPU, which the I/O cost model cannot see.
+  const uint64_t budget = ResolveRadixBudgetBytes(options);
+  const uint64_t footprint = EstimateRadixFootprintBytes(pr, ps);
+  if (footprint <= budget) {
+    plan.candidates.push_back(
+        {JoinAlgorithm::kInMemoryRadix, EstimateRadixJoinCost(pr, ps, m),
+         "columnar in-memory radix; est footprint " +
+             std::to_string(footprint) + " B <= budget " +
+             std::to_string(budget) + " B"});
+  } else {
+    plan.candidates.push_back(
+        {JoinAlgorithm::kInMemoryRadix,
+         std::numeric_limits<double>::infinity(),
+         "ineligible: est footprint " + std::to_string(footprint) +
+             " B exceeds budget " + std::to_string(budget) + " B"});
+  }
   plan.candidates.push_back(
       {JoinAlgorithm::kNestedLoop, EstimateNestedLoopCost(pr, ps, b, m),
        "blocks(r) x scan(s); exact closed form"});
@@ -139,9 +167,21 @@ StatusOr<JoinRunStats> ExecuteVtJoin(StoredRelation* r, StoredRelation* s,
       case JoinAlgorithm::kPartition:
         ctx->AnnotateEstimate(Phase::kPartitionJoin, est);
         break;
+      case JoinAlgorithm::kInMemoryRadix:
+        ctx->AnnotateEstimate(Phase::kRadixJoin, est);
+        break;
     }
+    // Record the footprint-vs-budget decision inputs whichever path was
+    // chosen, so EXPLAIN ANALYZE can show why the radix path was (not)
+    // taken.
+    SetMetric(ctx, Metric::kRadixEstFootprintBytes,
+              static_cast<double>(
+                  EstimateRadixFootprintBytes(r->num_pages(), s->num_pages())));
+    SetMetric(ctx, Metric::kRadixBudgetBytes,
+              static_cast<double>(ResolveRadixBudgetBytes(options)));
   }
   StatusOr<JoinRunStats> stats = Status::Internal("unreachable");
+  bool radix_fallback = false;
   switch (plan.algorithm) {
     case JoinAlgorithm::kNestedLoop:
       stats = NestedLoopVtJoin(r, s, out, options, ctx);
@@ -155,8 +195,26 @@ StatusOr<JoinRunStats> ExecuteVtJoin(StoredRelation* r, StoredRelation* s,
       stats = PartitionVtJoin(r, s, out, pj, ctx);
       break;
     }
+    case JoinAlgorithm::kInMemoryRadix: {
+      RadixJoinOptions rj;
+      static_cast<ExecOptions&>(rj) = options;
+      stats = RadixVtJoin(r, s, out, rj, ctx);
+      if (!stats.ok() &&
+          stats.status().code() == StatusCode::kResourceExhausted) {
+        // The optimistic plan-time footprint was wrong: extraction hit the
+        // budget. Nothing was emitted yet, so clear and rerun on the paged
+        // Grace path.
+        radix_fallback = true;
+        TEMPO_RETURN_IF_ERROR(out->Clear());
+        PartitionJoinOptions pj;
+        static_cast<ExecOptions&>(pj) = options;
+        stats = PartitionVtJoin(r, s, out, pj, ctx);
+      }
+      break;
+    }
   }
   if (stats.ok()) {
+    if (radix_fallback) stats->Set(Metric::kRadixFallback, 1.0);
     stats->Set(Metric::kPlannedAlgorithm,
                static_cast<double>(static_cast<int>(plan.algorithm)));
     stats->Set(Metric::kPlannedCost, plan.candidates.front().estimated_cost);

@@ -8,11 +8,14 @@
 
 namespace tempo {
 
-/// The evaluation strategies for the valid-time natural join.
+/// The evaluation strategies for the valid-time natural join. Enumerator
+/// order is the kPlannedAlgorithm metric encoding (0 = NL, 1 = SM, 2 = PJ,
+/// 3 = radix); append only.
 enum class JoinAlgorithm {
   kNestedLoop,
   kSortMerge,
   kPartition,
+  kInMemoryRadix,
 };
 
 const char* JoinAlgorithmName(JoinAlgorithm a);
@@ -54,14 +57,27 @@ double EstimatePartitionJoinCost(uint32_t pages_r, uint32_t pages_s,
                                  uint32_t buffer_pages,
                                  const CostModel& model);
 
-/// Ranks the three algorithms for r |X|_v s under `options` and returns
-/// the full ranking.
+/// I/O cost of the in-memory radix path when it is eligible: one
+/// sequential pass over each input (all other work is CPU/cache traffic,
+/// which the I/O cost model does not price — the point of the fast path).
+/// Eligibility is a memory question, not a cost one: PlanVtJoin only
+/// offers this candidate when EstimateRadixFootprintBytes fits the
+/// resolved budget (see core/radix_join.h).
+double EstimateRadixJoinCost(uint32_t pages_r, uint32_t pages_s,
+                             const CostModel& model);
+
+/// Ranks the algorithms for r |X|_v s under `options` and returns the
+/// full ranking (the in-memory radix path included; when its estimated
+/// footprint exceeds the memory budget it is ranked last at infinite cost
+/// with the footprint-vs-budget rationale).
 JoinPlan PlanVtJoin(StoredRelation* r, StoredRelation* s,
                     const VtJoinOptions& options);
 
 /// Plans, then executes the chosen algorithm. The returned stats carry
-/// the usual executor metrics plus kPlannedAlgorithm (0=NL, 1=SM, 2=PJ)
-/// and kPlannedCost.
+/// the usual executor metrics plus kPlannedAlgorithm (0=NL, 1=SM, 2=PJ,
+/// 3=radix) and kPlannedCost. If the radix path was chosen but exceeded
+/// its memory budget mid-extract, execution transparently falls back to
+/// the paged Grace join and sets kRadixFallback=1.
 ///
 /// With a non-null `ctx`, planning runs under a kPlan span, the planner's
 /// estimate is annotated onto the chosen executor's root span (so

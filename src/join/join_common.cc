@@ -22,6 +22,16 @@ Tuple MakeJoinTuple(const NaturalJoinLayout& layout, const Tuple& x,
   return Tuple(std::move(values), overlap);
 }
 
+Tuple MakeJoinTuple(const NaturalJoinLayout& layout, const TupleView& x,
+                    const TupleView& y, const Interval& overlap) {
+  std::vector<Value> values;
+  values.reserve(layout.output.num_attributes());
+  for (size_t pos : layout.r_join_attrs) values.push_back(x.ValueAt(pos));
+  for (size_t pos : layout.r_rest) values.push_back(x.ValueAt(pos));
+  for (size_t pos : layout.s_rest) values.push_back(y.ValueAt(pos));
+  return Tuple(std::move(values), overlap);
+}
+
 HashedTupleIndex::HashedTupleIndex(const std::vector<Tuple>* tuples,
                                    const std::vector<size_t>* key_attrs)
     : tuples_(tuples), key_attrs_(key_attrs) {

@@ -70,6 +70,13 @@ Tuple MakeJoinTuple(const NaturalJoinLayout& layout, const Tuple& x,
 Tuple MakeJoinTuple(const NaturalJoinLayout& layout, const Tuple& x,
                     const TupleView& y, const Interval& overlap);
 
+/// Same, with both sides zero-copy: every output value is materialized
+/// straight from the two page-backed records. The radix join emits through
+/// this — its match pairs are row ordinals into pinned page arenas, so
+/// neither side ever exists as an owning Tuple.
+Tuple MakeJoinTuple(const NaturalJoinLayout& layout, const TupleView& x,
+                    const TupleView& y, const Interval& overlap);
+
 /// Buffered writer appending join results to an output relation. The
 /// output page is the paper's dedicated result buffer page (Figure 3).
 class ResultWriter {
@@ -84,6 +91,13 @@ class ResultWriter {
   }
 
   Status Emit(const NaturalJoinLayout& layout, const Tuple& x,
+              const TupleView& y, const Interval& overlap) {
+    Status st = out_->Append(MakeJoinTuple(layout, x, y, overlap));
+    if (st.ok()) ++count_;
+    return st;
+  }
+
+  Status Emit(const NaturalJoinLayout& layout, const TupleView& x,
               const TupleView& y, const Interval& overlap) {
     Status st = out_->Append(MakeJoinTuple(layout, x, y, overlap));
     if (st.ok()) ++count_;

@@ -28,6 +28,13 @@ struct ExecOptions {
   /// Threading for CPU-bound phases; default is the paper-faithful
   /// serial mode.
   ParallelOptions parallel;
+
+  /// In-memory footprint budget (bytes) for the columnar radix fast path.
+  /// 0 resolves at run time: TEMPO_RADIX_THRESHOLD_MB when set (strictly
+  /// parsed), else buffer_pages * kPageSize — i.e. by default the radix
+  /// path may pin exactly the memory the paper's buffSize grants the
+  /// algorithm. See ResolveRadixBudgetBytes (core/radix_join.h).
+  uint64_t radix_budget_bytes = 0;
 };
 
 }  // namespace tempo

@@ -86,6 +86,48 @@ void RenderNode(const SpanNode& node, int depth, const ExplainOptions& options,
   }
 }
 
+std::string FormatBytes(double bytes) {
+  if (bytes >= 1024.0 * 1024.0) {
+    return FormatDouble(bytes / (1024.0 * 1024.0), 1) + " MiB";
+  }
+  if (bytes >= 1024.0) return FormatDouble(bytes / 1024.0, 1) + " KiB";
+  return FormatDouble(bytes, 0) + " B";
+}
+
+/// The "physical path" line: which executor actually ran, with the
+/// footprint-vs-budget numbers behind the radix-vs-paged decision. A
+/// mid-extract fallback renders as paged-grace with the radix abort noted,
+/// so fallback decisions are debuggable from the EXPLAIN output alone.
+std::string PhysicalPathLine(const MetricsRegistry& metrics) {
+  if (!metrics.Has(Metric::kPlannedAlgorithm)) return "";
+  const int algo = static_cast<int>(metrics.Get(Metric::kPlannedAlgorithm));
+  const bool fallback = metrics.Get(Metric::kRadixFallback) == 1.0;
+  static const char* kNames[] = {"nested-loops", "sort-merge", "paged-grace",
+                                 "in-memory-radix"};
+  std::string line = "physical path: ";
+  if (algo == 3 && fallback) {
+    line += "paged-grace (radix fallback: budget exceeded mid-extract)";
+  } else if (algo >= 0 && algo < 4) {
+    line += kNames[algo];
+  } else {
+    line += "?";
+  }
+  if (metrics.Has(Metric::kRadixEstFootprintBytes)) {
+    line += " — footprint est " +
+            FormatBytes(metrics.Get(Metric::kRadixEstFootprintBytes));
+    if (metrics.Has(Metric::kRadixActFootprintBytes)) {
+      line += " / act " +
+              FormatBytes(metrics.Get(Metric::kRadixActFootprintBytes));
+    }
+    if (metrics.Has(Metric::kRadixBudgetBytes)) {
+      line +=
+          ", budget " + FormatBytes(metrics.Get(Metric::kRadixBudgetBytes));
+    }
+  }
+  line += "\n";
+  return line;
+}
+
 std::string AlignRows(const std::vector<Row>& rows) {
   std::vector<size_t> widths;
   for (const Row& row : rows) {
@@ -163,6 +205,7 @@ std::string ExplainAnalyze(const ExecContext& ctx,
   rows.push_back(std::move(total_row));
 
   std::ostringstream out;
+  out << PhysicalPathLine(ctx.metrics());
   out << AlignRows(rows);
 
   if (ctx.metrics().size() > 0) {

@@ -77,9 +77,35 @@ namespace tempo {
     "Worker busy time / (wall time x threads) over the parallel regions.")    \
   M(PlannedAlgorithm, "planned_algorithm", "enum", "ExecuteVtJoin",           \
     "Algorithm the planner chose: 0 = nested-loops, 1 = sort-merge, 2 = "     \
-    "partition.")                                                             \
+    "partition, 3 = in-memory radix.")                                        \
   M(PlannedCost, "planned_cost", "cost", "ExecuteVtJoin",                     \
-    "Planner-estimated I/O cost of the chosen algorithm.")
+    "Planner-estimated I/O cost of the chosen algorithm.")                    \
+  M(RadixPasses, "radix_passes", "count", "RadixVtJoin",                      \
+    "8-bit radix passes run over each side's columns (0 = single bucket; "    \
+    "fan-out is 256^passes).")                                                \
+  M(RadixFanout, "radix_fanout", "count", "RadixVtJoin",                      \
+    "Total bucket fan-out of the multi-pass partitioning (256^passes).")      \
+  M(RadixBuckets, "radix_buckets", "count", "RadixVtJoin",                    \
+    "Aligned bucket pairs that were non-empty on both sides — the unit of "   \
+    "parallel build/probe work.")                                             \
+  M(RadixRowsRouted, "radix_rows_routed", "tuples", "RadixVtJoin",            \
+    "Column entries moved by the radix passes, summed over both sides and "   \
+    "all passes (each row moves once per pass).")                             \
+  M(RadixEstFootprintBytes, "radix_est_footprint_bytes", "bytes",             \
+    "PlanVtJoin / RadixVtJoin",                                               \
+    "Planner-estimated in-memory footprint of the radix path: page bytes "    \
+    "of both inputs (deliberately optimistic; the exact per-row overhead "    \
+    "is only known at extraction).")                                          \
+  M(RadixActFootprintBytes, "radix_act_footprint_bytes", "bytes",             \
+    "RadixVtJoin",                                                            \
+    "Exact pinned-page plus column/view bytes reached during extraction; "    \
+    "on a budget abort, the footprint at the point extraction stopped.")      \
+  M(RadixBudgetBytes, "radix_budget_bytes", "bytes", "RadixVtJoin",           \
+    "Resolved in-memory budget the radix path was charged against "           \
+    "(options field, TEMPO_RADIX_THRESHOLD_MB, or buffer_pages-derived).")    \
+  M(RadixFallback, "radix_fallback", "flag", "ExecuteVtJoin",                 \
+    "1 when the planner chose the radix path but extraction exceeded the "    \
+    "memory budget and the run fell back to the paged Grace join.")
 
 /// The declaration point for every histogram-kind metric, parallel to
 /// TEMPO_METRIC_LIST:
@@ -140,7 +166,7 @@ inline constexpr size_t kNumHistograms = []() constexpr {
 struct MetricDef {
   Metric id;
   const char* name;   ///< stable key (the metrics-JSON / bench-JSON key)
-  const char* unit;   ///< count, pages, tuples, ops, cost, ratio, flag, enum
+  const char* unit;   ///< count, pages, tuples, ops, bytes, cost, ratio, flag, enum
   const char* owner;  ///< executor(s) that emit it
   const char* doc;    ///< one-line description
 };

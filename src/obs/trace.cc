@@ -61,6 +61,14 @@ const char* PhaseName(Phase p) {
       return "view insert";
     case Phase::kViewDelete:
       return "view delete";
+    case Phase::kRadixJoin:
+      return "radix join";
+    case Phase::kRadixExtract:
+      return "radix_extract";
+    case Phase::kRadixPartition:
+      return "radix_partition";
+    case Phase::kRadixProbe:
+      return "radix_probe";
   }
   return "?";
 }

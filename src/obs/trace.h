@@ -43,6 +43,10 @@ enum class Phase : uint8_t {
   kViewBuild,        ///< materialized view initial build
   kViewInsert,       ///< incremental view maintenance, insertion
   kViewDelete,       ///< incremental view maintenance, deletion
+  kRadixJoin,        ///< in-memory columnar radix executor root
+  kRadixExtract,     ///< page scan + column extraction of both inputs
+  kRadixPartition,   ///< multi-pass 8-bit radix partitioning
+  kRadixProbe,       ///< per-bucket build/probe plus ordered emission
 };
 
 /// Stable lowercase display name ("partitioning r", "joinPartitions", ...).

@@ -1,3 +1,5 @@
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "core/planner.h"
@@ -77,12 +79,35 @@ TEST(PlannerTest, PicksPartitionInPaperRegime) {
   options.buffer_pages = r->num_pages() / 16;
   JoinPlan plan = PlanVtJoin(r.get(), s.get(), options);
   EXPECT_EQ(plan.algorithm, JoinAlgorithm::kPartition);
-  // Ranking is complete and sorted.
-  ASSERT_EQ(plan.candidates.size(), 3u);
+  // Ranking is complete and sorted; the radix candidate is ineligible at
+  // this memory budget (infinite cost), so it ranks last.
+  ASSERT_EQ(plan.candidates.size(), 4u);
   EXPECT_LE(plan.candidates[0].estimated_cost,
             plan.candidates[1].estimated_cost);
   EXPECT_LE(plan.candidates[1].estimated_cost,
             plan.candidates[2].estimated_cost);
+  EXPECT_LE(plan.candidates[2].estimated_cost,
+            plan.candidates[3].estimated_cost);
+  EXPECT_EQ(plan.candidates.back().algorithm, JoinAlgorithm::kInMemoryRadix);
+  EXPECT_TRUE(std::isinf(plan.candidates.back().estimated_cost));
+}
+
+TEST(PlannerTest, PicksRadixWhenBothInputsFitTheBudget) {
+  Disk disk;
+  Random rng(7);
+  auto r = MakeRelation(&disk, TestSchema(), RandomTuples(rng, 300, 20, 500, 0.1), "r");
+  auto s = MakeRelation(&disk, SSchema(), {}, "s");
+  for (const Tuple& t : RandomTuples(rng, 300, 20, 500, 0.1)) {
+    s->Append(Tuple({t.value(0), t.value(1)}, t.interval())).ok();
+  }
+  TEMPO_ASSERT_OK(s->Flush());
+  VtJoinOptions options;
+  options.buffer_pages = 1024;  // budget 1024 pages >> both inputs
+  JoinPlan plan = PlanVtJoin(r.get(), s.get(), options);
+  // The radix path ties nested-loops on estimated I/O (one pass over each
+  // input) and wins the tie: columnar probing is the better in-memory plan.
+  EXPECT_EQ(plan.algorithm, JoinAlgorithm::kInMemoryRadix);
+  ASSERT_EQ(plan.candidates.size(), 4u);
 }
 
 TEST(PlannerTest, ExecuteProducesCorrectResultAndAnnotations) {
@@ -117,6 +142,8 @@ TEST(PlannerTest, AlgorithmNames) {
                "nested-loops");
   EXPECT_STREQ(JoinAlgorithmName(JoinAlgorithm::kSortMerge), "sort-merge");
   EXPECT_STREQ(JoinAlgorithmName(JoinAlgorithm::kPartition), "partition");
+  EXPECT_STREQ(JoinAlgorithmName(JoinAlgorithm::kInMemoryRadix),
+               "in-memory-radix");
 }
 
 // The planner's estimates should track reality within an order of
