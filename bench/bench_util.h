@@ -11,11 +11,11 @@
 #include "common/env.h"
 #include "common/format.h"
 #include "core/partition_join.h"
-#include "join/nested_loop_join.h"
-#include "join/sort_merge_join.h"
 #include "obs/bench_report.h"
 #include "obs/explain.h"
 #include "obs/export.h"
+#include "parallel/scheduler.h"
+#include "service/join_request.h"
 #include "workload/generator.h"
 #include "workload/paper_params.h"
 
@@ -38,13 +38,35 @@ inline uint32_t EnvUint(const char* name, uint32_t fallback) {
 /// their absolute values"). 1 = the paper's full 32 MiB configuration.
 inline uint32_t BenchScale() { return EnvUint("TEMPO_BENCH_SCALE", 1); }
 
+/// The process-wide bench scheduler, resolved exactly once from
+/// TEMPO_BENCH_THREADS through ResolveSchedulerConfig (the strict env
+/// parser). Every bench join runs its CPU-bound morsels on this one
+/// work-stealing pool — there is no other thread knob, so per-bench
+/// thread requests and the env variable can no longer disagree silently.
+inline Scheduler* BenchScheduler() {
+  static std::unique_ptr<Scheduler> scheduler = [] {
+    SchedulerConfig config;
+    config.num_threads = 0;  // defer entirely to TEMPO_BENCH_THREADS
+    StatusOr<std::unique_ptr<Scheduler>> made = Scheduler::Create(config);
+    if (!made.ok()) {
+      std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+      return std::unique_ptr<Scheduler>();  // serial fallback
+    }
+    return std::move(*made);
+  }();
+  return scheduler.get();
+}
+
 /// Worker threads for the executors' CPU-bound phases (the --threads knob,
 /// set via TEMPO_BENCH_THREADS). Defaults to 1, the paper-faithful serial
 /// mode. Any value is result- and IoStats-neutral — threading only shifts
 /// wall-clock — so every figure bench may be run at any thread count
 /// without perturbing the reproduced numbers. bench/micro_parallel is the
 /// wall-clock scaling study.
-inline uint32_t BenchThreads() { return EnvUint("TEMPO_BENCH_THREADS", 1); }
+inline uint32_t BenchThreads() {
+  Scheduler* scheduler = BenchScheduler();
+  return scheduler == nullptr ? 1 : scheduler->num_threads();
+}
 
 /// TEMPO_BENCH_TRACE=1 runs every RunJoin under an ExecContext and prints
 /// the EXPLAIN ANALYZE span tree after the join. Tracing never perturbs
@@ -56,10 +78,10 @@ inline bool BenchTrace() {
   return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
-/// True when RunJoin should execute under an ExecContext: either the
+/// True when a bench run's span tree has a consumer: either the
 /// human-facing EXPLAIN ANALYZE (TEMPO_BENCH_TRACE) or the Perfetto
-/// export (TEMPO_TRACE_OUT) wants the span tree. When both are off the
-/// executors run with a null context — the zero-overhead mode.
+/// export (TEMPO_TRACE_OUT). When both are off the spans are collected
+/// but neither printed nor exported.
 inline bool BenchTraced() { return BenchTrace() || !TraceOutPath().empty(); }
 
 /// The per-binary machine-readable report: every figure/ablation bench
@@ -176,41 +198,31 @@ inline StatusOr<JoinRunStats> RunJoin(Algo algo, StoredRelation* r,
   TEMPO_RETURN_IF_ERROR(out.SetCharged(false));
   disk->accountant().Reset();
 
+  // The context always carries the shared bench scheduler (serial unless
+  // TEMPO_BENCH_THREADS says otherwise); span collection stays bounded,
+  // and printing/export only happens when tracing was requested.
   ExecContext ctx;
-  ExecContext* ctxp = BenchTraced() ? &ctx : nullptr;
-  const auto wall_start = std::chrono::steady_clock::now();
-  StatusOr<JoinRunStats> stats = Status::Internal("unreachable");
+  ctx.SetScheduler(BenchScheduler());
+  JoinRequest request;
+  request.From(r, s).BufferPages(buffer_pages).Model(model).Seed(seed);
   switch (algo) {
-    case Algo::kNestedLoop: {
-      VtJoinOptions options;
-      options.buffer_pages = buffer_pages;
-      options.cost_model = model;
-      stats = NestedLoopVtJoin(r, s, &out, options, ctxp);
+    case Algo::kNestedLoop:
+      request.Using(JoinExecutor::kNestedLoop);
       break;
-    }
-    case Algo::kSortMerge: {
-      VtJoinOptions options;
-      options.buffer_pages = buffer_pages;
-      options.cost_model = model;
-      options.parallel.num_threads = BenchThreads();
-      stats = SortMergeVtJoin(r, s, &out, options, ctxp);
+    case Algo::kSortMerge:
+      request.Using(JoinExecutor::kSortMerge);
       break;
-    }
-    case Algo::kPartition: {
-      PartitionJoinOptions options;
-      options.buffer_pages = buffer_pages;
-      options.cost_model = model;
-      options.seed = seed;
-      options.parallel.num_threads = BenchThreads();
-      stats = PartitionVtJoin(r, s, &out, options, ctxp);
+    case Algo::kPartition:
+      request.Using(JoinExecutor::kPartition);
       break;
-    }
   }
+  const auto wall_start = std::chrono::steady_clock::now();
+  StatusOr<JoinRunStats> stats = tempo::RunJoin(request, &out, &ctx);
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
-  if (ctxp != nullptr && stats.ok()) {
+  if (BenchTraced() && stats.ok()) {
     if (BenchTrace()) {
       ExplainOptions eopts;
       eopts.cost_model = model;

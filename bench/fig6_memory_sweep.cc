@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "join/nested_loop_join.h"
 
 namespace tempo::bench {
 namespace {

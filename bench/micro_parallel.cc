@@ -12,7 +12,9 @@
 #include "micro_util.h"
 
 #include "core/partition_join.h"
+#include "obs/exec_context.h"
 #include "parallel/parallel_for.h"
+#include "parallel/scheduler.h"
 #include "parallel/thread_pool.h"
 #include "workload/generator.h"
 
@@ -99,15 +101,17 @@ void BM_PartitionJoinThreads(benchmark::State& state) {
     return;
   }
   const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  Scheduler scheduler(SchedulerConfig{threads, /*morsel_pages=*/4});
   uint64_t tuples = 0;
   double efficiency = 0.0;
   for (auto _ : state) {
     StoredRelation out(&fixture->disk, fixture->out_schema, "out");
     PartitionJoinOptions options;
     options.buffer_pages = 64;
-    options.parallel.num_threads = threads;
-    auto stats =
-        PartitionVtJoin(fixture->r.get(), fixture->s.get(), &out, options);
+    ExecContext ctx;
+    ctx.SetScheduler(&scheduler);
+    auto stats = PartitionVtJoin(fixture->r.get(), fixture->s.get(), &out,
+                                 options, &ctx);
     if (!stats.ok()) {
       state.SkipWithError(stats.status().ToString().c_str());
       return;
@@ -139,10 +143,7 @@ void BM_GracePartitionThreads(benchmark::State& state) {
     return;
   }
   const uint32_t threads = static_cast<uint32_t>(state.range(0));
-  ParallelOptions parallel;
-  parallel.num_threads = threads;
-  std::unique_ptr<ThreadPool> pool;
-  if (parallel.enabled()) pool = std::make_unique<ThreadPool>(threads);
+  Scheduler scheduler(SchedulerConfig{threads, /*morsel_pages=*/4});
   std::vector<Chronon> boundaries;
   const Chronon span = 1500000;
   for (int i = 1; i < 8; ++i) boundaries.push_back(i * span / 8);
@@ -155,7 +156,7 @@ void BM_GracePartitionThreads(benchmark::State& state) {
   for (auto _ : state) {
     auto parts = GracePartition(fixture->r.get(), spec, 64,
                                 PlacementPolicy::kLastOverlap, "bench.part",
-                                parallel, pool.get(), nullptr);
+                                &scheduler, nullptr);
     if (!parts.ok()) {
       state.SkipWithError(parts.status().ToString().c_str());
       return;

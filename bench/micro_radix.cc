@@ -16,6 +16,7 @@
 #include <limits>
 
 #include "bench_util.h"
+#include "core/partition_join.h"
 #include "core/planner.h"
 #include "core/radix_join.h"
 
@@ -59,6 +60,7 @@ StatusOr<PathTiming> TimePath(bool radix, StoredRelation* r, StoredRelation* s,
     TEMPO_RETURN_IF_ERROR(out.SetCharged(false));
     disk->accountant().Reset();
     ExecContext ctx;
+    ctx.SetScheduler(BenchScheduler());
     const auto wall_start = std::chrono::steady_clock::now();
     StatusOr<JoinRunStats> stats = Status::Internal("unreachable");
     if (radix) {
@@ -68,13 +70,11 @@ StatusOr<PathTiming> TimePath(bool radix, StoredRelation* r, StoredRelation* s,
       // The sweep measures the path itself past the planner's cutover, so
       // lift the budget out of the way instead of falling back.
       options.radix_budget_bytes = uint64_t{1} << 40;
-      options.parallel.num_threads = BenchThreads();
       stats = RadixVtJoin(r, s, &out, options, &ctx);
     } else {
       PartitionJoinOptions options;
       options.buffer_pages = std::max<uint32_t>(8, r->num_pages() / 4);
       options.cost_model = model;
-      options.parallel.num_threads = BenchThreads();
       stats = PartitionVtJoin(r, s, &out, options, &ctx);
     }
     const double wall =

@@ -1,16 +1,16 @@
 // Quickstart: build two small valid-time relations, evaluate their
-// valid-time natural join with the partition algorithm, and inspect the
+// valid-time natural join through the JoinRequest facade, and inspect the
 // I/O the run performed — including the EXPLAIN ANALYZE span tree of a
-// planned run.
+// planner-chosen run.
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "core/partition_join.h"
 #include "core/planner.h"
 #include "obs/explain.h"
+#include "service/join_request.h"
 #include "storage/disk.h"
 #include "storage/stored_relation.h"
 
@@ -62,10 +62,14 @@ int main() {
   StoredRelation result(&disk, layout->output, "result");
 
   // Evaluate employees |X|_v budgets with the paper's partition join.
-  PartitionJoinOptions options;
-  options.buffer_pages = 64;               // main-memory budget, in pages
-  options.cost_model = CostModel::Ratio(5.0);  // random : sequential = 5:1
-  auto stats = PartitionVtJoin(&employees, &budgets, &result, options);
+  // Every executor runs through the same facade: describe the join as a
+  // JoinRequest and hand it to RunJoin.
+  JoinRequest request;
+  request.From(&employees, &budgets)
+      .Using(JoinExecutor::kPartition)
+      .BufferPages(64)                      // main-memory budget, in pages
+      .Model(CostModel::Ratio(5.0));        // random : sequential = 5:1
+  auto stats = RunJoin(request, &result);
   if (!stats.ok()) {
     std::fprintf(stderr, "join failed: %s\n",
                  stats.status().ToString().c_str());
@@ -82,18 +86,18 @@ int main() {
 
   std::printf("\nI/O performed: %s\n", stats->io.ToString().c_str());
   std::printf("weighted cost at 5:1: %.0f\n",
-              stats->Cost(options.cost_model));
+              stats->Cost(request.options.cost_model));
 
-  // Same join through the cost-based planner, this time with an
-  // ExecContext attached: every phase runs under a traced span, and
-  // ExplainAnalyze prints the tree with planner-estimated vs. actual
-  // cost, the random/sequential split, and the typed metrics.
+  // Same join through the cost-based planner (JoinExecutor::kAuto, the
+  // default), this time with an ExecContext attached: every phase runs
+  // under a traced span, and ExplainAnalyze prints the tree with
+  // planner-estimated vs. actual cost, the random/sequential split, and
+  // the typed metrics.
   StoredRelation result2(&disk, layout->output, "result2");
   ExecContext ctx;
-  VtJoinOptions plan_options;
-  plan_options.buffer_pages = 64;
-  auto planned = ExecuteVtJoin(&employees, &budgets, &result2, plan_options,
-                               &ctx);
+  JoinRequest planned_request;
+  planned_request.From(&employees, &budgets).BufferPages(64);
+  auto planned = RunJoin(planned_request, &result2, &ctx);
   if (!planned.ok()) {
     std::fprintf(stderr, "planned join failed: %s\n",
                  planned.status().ToString().c_str());

@@ -135,6 +135,34 @@ class LogHistogram {
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
+/// Estimates the q-quantile (q in [0, 1]) from the bucket counts: walks
+/// the buckets until the cumulative count reaches q * count and reports
+/// that bucket's upper bound, clamped into [min, max]. The doubling
+/// buckets bound the relative error by 2x — good enough for the p50/p99
+/// latencies the bench harness and regression gate track. Returns 0 for
+/// an empty histogram.
+inline double ApproxQuantile(const LogHistogram& hist, double q) {
+  const uint64_t n = hist.count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; ceil so p0 maps to the 1st sample.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < LogHistogram::kNumBuckets; ++i) {
+    seen += hist.bucket_count(i);
+    if (seen >= rank) {
+      double upper = LogHistogram::BucketUpperBound(i);
+      if (upper > hist.max()) upper = hist.max();
+      if (upper < hist.min()) upper = hist.min();
+      return upper;
+    }
+  }
+  return hist.max();
+}
+
 }  // namespace tempo
 
 #endif  // TEMPO_COMMON_HISTOGRAM_H_

@@ -20,6 +20,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kNotSupported,
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
@@ -70,6 +71,9 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

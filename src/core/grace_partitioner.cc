@@ -33,9 +33,10 @@ StatusOr<PartitionedRelation> GracePartition(StoredRelation* input,
                                              uint32_t buffer_pages,
                                              PlacementPolicy policy,
                                              const std::string& name_prefix,
-                                             const ParallelOptions& parallel,
-                                             ThreadPool* pool,
+                                             Scheduler* scheduler,
                                              MorselStats* morsel_stats) {
+  const ParallelOptions parallel = SchedulerParallel(scheduler);
+  ThreadPool* pool = SchedulerPool(scheduler);
   const size_t n = spec.num_partitions();
   if (buffer_pages < n + 1) {
     return Status::InvalidArgument(

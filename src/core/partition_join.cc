@@ -306,10 +306,8 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
                                       PlacementPolicy placement,
                                       IntervalJoinPredicate predicate,
                                       uint32_t cache_memory_pages,
-                                      const ParallelOptions& parallel,
-                                      ThreadPool* pool,
-                                      MorselStats* morsel_stats,
-                                      ExecContext* ctx) {
+                                      ExecContext* ctx,
+                                      MorselStats* morsel_stats) {
   const size_t n = spec.num_partitions();
   if (pr->parts.size() != n || ps->parts.size() != n) {
     return Status::InvalidArgument(
@@ -319,11 +317,9 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
     return Status::InvalidArgument(
         "joinPartitions needs at least 4 buffer pages");
   }
-  std::unique_ptr<ThreadPool> local_pool;
-  if (parallel.enabled() && pool == nullptr) {
-    local_pool = std::make_unique<ThreadPool>(parallel.num_threads);
-    pool = local_pool.get();
-  }
+  Scheduler* scheduler = SchedulerOf(ctx);
+  const ParallelOptions parallel = SchedulerParallel(scheduler);
+  ThreadPool* pool = SchedulerPool(scheduler);
   Disk* disk = out->disk();
   IoAccountant& acct = disk->accountant();
   IoStats before = acct.stats();
@@ -507,10 +503,9 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
   TraceSpan root_span = SpanIf(ctx, Phase::kPartitionJoin);
   Random rng(options.seed);
 
-  std::unique_ptr<ThreadPool> pool;
-  if (options.parallel.enabled()) {
-    pool = std::make_unique<ThreadPool>(options.parallel.num_threads);
-  }
+  Scheduler* scheduler = SchedulerOf(ctx);
+  const ParallelOptions parallel = SchedulerParallel(scheduler);
+  ThreadPool* pool = SchedulerPool(scheduler);
   MorselStats total_morsels;
 
   // Phase 1: determine the partitioning intervals (samples are charged).
@@ -561,8 +556,7 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
     ctx.inner_schema = &s->schema();
     ctx.predicate = options.predicate;
     ctx.writer = &writer;
-    ProbeStream stream(ctx, &outer.index(), pool.get(), options.parallel,
-                       &total_morsels);
+    ProbeStream stream(ctx, &outer.index(), pool, parallel, &total_morsels);
     const uint32_t s_pages = s->num_pages();
     for (uint32_t p = 0; p < s_pages; ++p) {
       Page page;
@@ -587,20 +581,25 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
     if (pool != nullptr) {
       // The r coordinator runs on a spawned thread whose span stack is
       // empty, so its span names the partition-join root as parent
-      // explicitly; the tree shape matches the serial run.
-      std::thread r_thread([&] {
+      // explicitly; the tree shape matches the serial run. The thread also
+      // re-binds this query's per-thread accountant (if one is bound):
+      // r's charged I/O must land on the same per-query ledger as the
+      // coordinator's, not on the disk's base accountant.
+      IoAccountant* bound = disk->BoundAccountant();
+      std::thread r_thread([&, bound] {
+        ScopedAccountantBinding rebind(disk, bound);
         TraceSpan r_span =
             SpanUnderIf(ctx, root_span, Phase::kPartitionR);
         pr_or = GracePartition(r, plan.spec, options.buffer_pages,
-                               options.placement, r->name(), options.parallel,
-                               pool.get(), &r_morsels);
+                               options.placement, r->name(), scheduler,
+                               &r_morsels);
         r_span.AddMorsels(r_morsels);
       });
       {
         TraceSpan s_span = SpanIf(ctx, Phase::kPartitionS);
         ps_or = GracePartition(s, plan.spec, options.buffer_pages,
-                               options.placement, s->name(), options.parallel,
-                               pool.get(), &s_morsels);
+                               options.placement, s->name(), scheduler,
+                               &s_morsels);
         s_span.AddMorsels(s_morsels);
       }
       r_thread.join();
@@ -630,8 +629,8 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
         JoinRunStats join_stats,
         JoinPartitions(layout, plan.spec, &pr, &ps, out, options.buffer_pages,
                        options.placement, options.predicate,
-                       options.tuple_cache_memory_pages, options.parallel,
-                       pool.get(), &total_morsels, ctx));
+                       options.tuple_cache_memory_pages, ctx,
+                       &total_morsels));
     stats.output_tuples = join_stats.output_tuples;
     stats.metrics.Merge(join_stats.metrics);
     stats.Add(Metric::kDecodeMaterializationsAvoided,
@@ -649,11 +648,11 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
   stats.Set(Metric::kSampledByScan, plan.sampled_by_scan ? 1.0 : 0.0);
   stats.Set(Metric::kEstSampleCost, plan.est_sample_cost);
   stats.Set(Metric::kEstJoinCost, plan.est_join_cost);
-  if (options.parallel.enabled()) {
+  if (parallel.enabled()) {
     stats.Set(Metric::kMorselsDispatched,
               static_cast<double>(total_morsels.morsels_dispatched));
     stats.Set(Metric::kParallelEfficiency,
-              total_morsels.Efficiency(options.parallel.num_threads));
+              total_morsels.Efficiency(parallel.num_threads));
   }
   ExportMetrics(stats, ctx);
   return stats;

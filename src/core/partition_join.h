@@ -11,7 +11,7 @@ namespace tempo {
 /// Options for the partition-based valid-time natural join. The shared
 /// knobs (buffer_pages — Figure 3's buffSize pages of outer partition
 /// area plus one page each for the inner buffer, tuple cache and result —
-/// cost_model, seed, parallel) live in the ExecOptions base; callers
+/// cost_model, seed) live in the ExecOptions base; callers
 /// holding a VtJoinOptions transfer them with one slice-assignment:
 ///   PartitionJoinOptions part;
 ///   static_cast<ExecOptions&>(part) = options;
@@ -60,11 +60,12 @@ struct PartitionJoinOptions : ExecOptions {
 /// extra chunk: that re-reading is precisely the thrashing cost.
 ///
 /// Metrics in JoinRunStats: kCachePagesSpilled, kCacheTuples,
-/// kOverflowChunks; with `parallel.enabled()` additionally
+/// kOverflowChunks; with a multi-threaded scheduler additionally
 /// kMorselsDispatched and kParallelEfficiency.
 ///
-/// With `parallel.enabled()`, probe work inside each partition fans out
-/// over `pool` (or a pool created locally if null): the coordinator still
+/// Parallelism comes from the Scheduler handle on `ctx` (serial when the
+/// context or its handle is null): probe work inside each partition fans
+/// out over the scheduler's shared workers — the coordinator still
 /// performs every page read in the paper's order; workers decode and probe
 /// batches, and their buffered results are appended in batch order, so the
 /// output and charged I/O match the serial run exactly. The partition loop
@@ -80,11 +81,8 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
                                       IntervalJoinPredicate predicate =
                                           IntervalJoinPredicate::kOverlap,
                                       uint32_t cache_memory_pages = 1,
-                                      const ParallelOptions& parallel =
-                                          ParallelOptions{},
-                                      ThreadPool* pool = nullptr,
-                                      MorselStats* morsel_stats = nullptr,
-                                      ExecContext* ctx = nullptr);
+                                      ExecContext* ctx = nullptr,
+                                      MorselStats* morsel_stats = nullptr);
 
 /// The paper's contribution, end to end (Figure 2):
 ///

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "common/env.h"
+#include "parallel/scheduler.h"
 #include "parallel/thread_pool.h"
 
 namespace tempo {
@@ -279,15 +280,13 @@ StatusOr<JoinRunStats> RadixVtJoin(StoredRelation* r, StoredRelation* s,
   // --- radix_probe: parallel bucket build/probe, ordered emission --------
   {
     TraceSpan probe_span = SpanUnderIf(ctx, root, Phase::kRadixProbe);
-    std::unique_ptr<ThreadPool> pool;
-    if (options.parallel.enabled()) {
-      pool = std::make_unique<ThreadPool>(options.parallel.num_threads);
-    }
+    Scheduler* scheduler = SchedulerOf(ctx);
+    const ParallelOptions parallel = SchedulerParallel(scheduler);
     const uint32_t shift = 8 * passes;
     std::vector<std::vector<MatchPair>> per_task(tasks.size());
     MorselStats morsels;
     Status st = ParallelFor(
-        pool.get(), tasks.size(), /*morsel_size=*/1,
+        SchedulerPool(scheduler), tasks.size(), /*morsel_size=*/1,
         [&](size_t, size_t begin, size_t end) {
           for (size_t t = begin; t < end; ++t) {
             BucketJoin(tasks[t], rc, sc, r_extract.views(), s_extract.views(),
@@ -297,12 +296,12 @@ StatusOr<JoinRunStats> RadixVtJoin(StoredRelation* r, StoredRelation* s,
         },
         &morsels);
     TEMPO_RETURN_IF_ERROR(st);
-    if (options.parallel.enabled()) {
+    if (parallel.enabled()) {
       probe_span.AddMorsels(morsels);
       stats.Set(Metric::kMorselsDispatched,
                 static_cast<double>(morsels.morsels_dispatched));
       stats.Set(Metric::kParallelEfficiency,
-                morsels.Efficiency(options.parallel.num_threads));
+                morsels.Efficiency(parallel.num_threads));
     }
 
     // Deterministic output: merge the per-bucket matches and sort globally

@@ -195,9 +195,10 @@ Status MergeRuns(std::vector<std::unique_ptr<StoredRelation>>& runs,
 StatusOr<SortedRelation> ExternalSortByVs(StoredRelation* input,
                                           uint32_t buffer_pages,
                                           const std::string& output_name,
-                                          const ParallelOptions& parallel,
-                                          ThreadPool* pool,
+                                          Scheduler* scheduler,
                                           MorselStats* morsel_stats) {
+  const ParallelOptions parallel = SchedulerParallel(scheduler);
+  ThreadPool* pool = SchedulerPool(scheduler);
   if (buffer_pages < 3) {
     return Status::InvalidArgument("external sort needs at least 3 pages");
   }
@@ -225,11 +226,6 @@ StatusOr<SortedRelation> ExternalSortByVs(StoredRelation* input,
   }
 
   // --- Run formation: memory-sized sorted runs. -----------------------
-  std::unique_ptr<ThreadPool> local_pool;
-  if (parallel.enabled() && pool == nullptr) {
-    local_pool = std::make_unique<ThreadPool>(parallel.num_threads);
-    pool = local_pool.get();
-  }
   std::vector<std::unique_ptr<StoredRelation>> runs;
   uint64_t run_records = 0;
   if (parallel.enabled() && pool != nullptr) {

@@ -7,6 +7,7 @@
 
 #include "common/statusor.h"
 #include "parallel/parallel_for.h"
+#include "parallel/scheduler.h"
 #include "storage/stored_relation.h"
 
 namespace tempo {
@@ -42,21 +43,20 @@ struct SortedRelation {
 /// returning; all their I/O is charged. The returned relation's file is
 /// named `output_name`.
 ///
-/// With `parallel.enabled()`, run formation overlaps sorting with reading:
-/// the calling thread reads a wave of up to num_threads memory-sized
-/// chunks (input pages still read in scan order) and the pool sorts them
-/// while the coordinator writes finished runs back in chunk order, so run
-/// files and charged I/O are identical to the serial pass. Note the wave
-/// holds up to num_threads chunks of buffer_pages pages at once — parallel
-/// mode deliberately trades memory for CPU overlap. Merge passes stay
-/// serial (the heap is inherently sequential). A local pool is created if
-/// `pool` is null; `morsel_stats` accumulates dispatch counters.
+/// With a multi-threaded `scheduler`, run formation overlaps sorting with
+/// reading: the calling thread reads a wave of up to num_threads memory-
+/// sized chunks (input pages still read in scan order) and the scheduler's
+/// shared workers sort them while the coordinator writes finished runs
+/// back in chunk order, so run files and charged I/O are identical to the
+/// serial pass. Note the wave holds up to num_threads chunks of
+/// buffer_pages pages at once — parallel mode deliberately trades memory
+/// for CPU overlap. Merge passes stay serial (the heap is inherently
+/// sequential). A null scheduler is the serial mode; `morsel_stats`
+/// accumulates dispatch counters.
 StatusOr<SortedRelation> ExternalSortByVs(StoredRelation* input,
                                           uint32_t buffer_pages,
                                           const std::string& output_name,
-                                          const ParallelOptions& parallel =
-                                              ParallelOptions{},
-                                          ThreadPool* pool = nullptr,
+                                          Scheduler* scheduler = nullptr,
                                           MorselStats* morsel_stats = nullptr);
 
 }  // namespace tempo

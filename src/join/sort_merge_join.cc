@@ -243,10 +243,8 @@ StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
   TraceSpan exec_span = SpanIf(ctx, Phase::kSortMerge);
 
   // --- Phase 1: sort both inputs by Vs. --------------------------------
-  std::unique_ptr<ThreadPool> pool;
-  if (options.parallel.enabled()) {
-    pool = std::make_unique<ThreadPool>(options.parallel.num_threads);
-  }
+  Scheduler* scheduler = SchedulerOf(ctx);
+  const ParallelOptions parallel = SchedulerParallel(scheduler);
   MorselStats sort_morsels;
   SortedRelation sr;
   SortedRelation ss;
@@ -255,7 +253,7 @@ StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
     TEMPO_ASSIGN_OR_RETURN(
         SortedRelation sorted,
         ExternalSortByVs(r, options.buffer_pages, r->name() + ".sorted",
-                         options.parallel, pool.get(), &sort_morsels));
+                         scheduler, &sort_morsels));
     sr = std::move(sorted);
   }
   {
@@ -263,7 +261,7 @@ StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
     TEMPO_ASSIGN_OR_RETURN(
         SortedRelation sorted,
         ExternalSortByVs(s, options.buffer_pages, s->name() + ".sorted",
-                         options.parallel, pool.get(), &sort_morsels));
+                         scheduler, &sort_morsels));
     ss = std::move(sorted);
   }
   exec_span.AddMorsels(sort_morsels);
@@ -381,11 +379,11 @@ StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
   stats.Set(Metric::kBackupPageReads, static_cast<double>(backup_reads));
   stats.Set(Metric::kMaxActiveTuples,
             static_cast<double>(active_r.max_live() + active_s.max_live()));
-  if (options.parallel.enabled()) {
+  if (parallel.enabled()) {
     stats.Set(Metric::kMorselsDispatched,
               static_cast<double>(sort_morsels.morsels_dispatched));
     stats.Set(Metric::kParallelEfficiency,
-              sort_morsels.Efficiency(options.parallel.num_threads));
+              sort_morsels.Efficiency(parallel.num_threads));
   }
   ExportMetrics(stats, ctx);
   return stats;

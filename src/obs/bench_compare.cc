@@ -37,10 +37,14 @@ constexpr const char* kIdentityKeys[] = {"scale", "threads", "seed",
 }  // namespace
 
 bool IsVolatileBenchKey(std::string_view key) {
+  // "queue" covers the service's admission-queue depth/peak values, which
+  // depend on how far submission outruns completion — scheduling, not
+  // correctness.
   return Contains(key, "wall") || Contains(key, "second") ||
          Contains(key, "time") || Contains(key, "latency") ||
          Contains(key, "efficiency") || EndsWith(key, "_ns") ||
-         EndsWith(key, "_us") || Contains(key, "iterations");
+         EndsWith(key, "_us") || Contains(key, "iterations") ||
+         Contains(key, "queue");
 }
 
 StatusOr<BenchCompareResult> CompareBenchReports(

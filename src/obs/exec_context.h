@@ -12,6 +12,8 @@
 
 namespace tempo {
 
+class Scheduler;
+
 /// Per-run observability context, threaded through every executor as an
 /// optional `ExecContext* ctx` parameter. A null context is the
 /// zero-overhead mode: SpanIf() returns an inert span, no collector is
@@ -64,6 +66,14 @@ class ExecContext {
   }
   IoAccountant* accountant() const { return accountant_; }
 
+  /// Attaches the (non-owning) scheduler handle executors draw their
+  /// parallelism from. Null — the default — is the paper-faithful serial
+  /// mode. The Scheduler must outlive this context; the concurrent query
+  /// service sets its shared scheduler on every per-query context it
+  /// creates.
+  void SetScheduler(Scheduler* scheduler) { scheduler_ = scheduler; }
+  Scheduler* scheduler() const { return scheduler_; }
+
   /// Registers a buffer pool so spans can report hit/miss deltas.
   /// Unregister before destroying the pool; its final counters are folded
   /// into a retired total so deltas stay monotonic.
@@ -95,6 +105,7 @@ class ExecContext {
   Tracer tracer_;
   MetricsRegistry metrics_;
   IoAccountant* accountant_ = nullptr;
+  Scheduler* scheduler_ = nullptr;
 
   mutable std::mutex pools_mu_;
   std::vector<const BufferManager*> pools_;
@@ -133,6 +144,13 @@ inline TraceSpan SpanUnderIf(ExecContext* ctx, const TraceSpan& parent,
   if (ctx == nullptr) return TraceSpan();
   if (!parent.active()) return ctx->Span(phase, std::move(label));
   return ctx->SpanUnder(parent, phase, std::move(label));
+}
+
+/// Null-safe scheduler accessor: the serial fallback (null) when no
+/// context was passed. Pair with SchedulerParallel()/SchedulerPool()
+/// from parallel/scheduler.h to get concrete knobs.
+inline Scheduler* SchedulerOf(ExecContext* ctx) {
+  return ctx == nullptr ? nullptr : ctx->scheduler();
 }
 
 /// Null-safe metric write helpers.

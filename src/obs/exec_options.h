@@ -3,7 +3,6 @@
 
 #include <cstdint>
 
-#include "parallel/parallel_for.h"
 #include "storage/io_accountant.h"
 
 namespace tempo {
@@ -25,9 +24,10 @@ struct ExecOptions {
   /// Seed for sampling and any randomized placement decisions.
   uint64_t seed = 42;
 
-  /// Threading for CPU-bound phases; default is the paper-faithful
-  /// serial mode.
-  ParallelOptions parallel;
+  // Threading deliberately has no knob here: executors read the Scheduler
+  // handle on their ExecContext (serial when absent), so one resolved
+  // scheduler config governs every concurrent query instead of each
+  // options value carrying its own thread count.
 
   /// In-memory footprint budget (bytes) for the columnar radix fast path.
   /// 0 resolves at run time: TEMPO_RADIX_THRESHOLD_MB when set (strictly

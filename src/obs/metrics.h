@@ -105,7 +105,16 @@ namespace tempo {
     "(options field, TEMPO_RADIX_THRESHOLD_MB, or buffer_pages-derived).")    \
   M(RadixFallback, "radix_fallback", "flag", "ExecuteVtJoin",                 \
     "1 when the planner chose the radix path but extraction exceeded the "    \
-    "memory budget and the run fell back to the paged Grace join.")
+    "memory budget and the run fell back to the paged Grace join.")           \
+  M(AdmissionQueuePeak, "admission_queue_peak", "count", "QueryService",      \
+    "Peak depth of the FIFO admission queue — queries that had to wait "      \
+    "for buffer-pool reservations — over the service's lifetime.")            \
+  M(QueriesCompleted, "queries_completed", "count", "QueryService",           \
+    "Queries that ran to completion (successfully or with an execution "      \
+    "error) after being admitted.")                                           \
+  M(QueriesCancelled, "queries_cancelled", "count", "QueryService",           \
+    "Queries cancelled while still waiting in the admission queue; their "    \
+    "reservations were never granted.")
 
 /// The declaration point for every histogram-kind metric, parallel to
 /// TEMPO_METRIC_LIST:
@@ -128,7 +137,13 @@ namespace tempo {
     "JoinPartitions",                                                         \
     "Tuples resident in the backwards tuple cache at the end of each "        \
     "partition — the per-partition footprint behind the aggregate "           \
-    "cache_tuples counter. Deterministic for a fixed seed.")
+    "cache_tuples counter. Deterministic for a fixed seed.")                  \
+  H(AdmissionWaitUs, "admission_wait_us", "us", "QueryService",               \
+    "Wall-clock time each admitted query spent queued for its buffer-pool "   \
+    "reservation (0 for queries admitted immediately).")                      \
+  H(QueryLatencyUs, "query_latency_us", "us", "QueryService",                 \
+    "End-to-end wall-clock latency of each query: submission to result, "     \
+    "including admission wait and execution.")
 
 /// Compile-time-checked identifier of a declared metric.
 enum class Metric : uint16_t {

@@ -11,6 +11,7 @@ thread_local int t_worker_index = -1;
 
 ThreadPool::ThreadPool(uint32_t num_threads) {
   if (num_threads == 0) num_threads = 1;
+  queues_.resize(num_threads);
   workers_.reserve(num_threads);
   for (uint32_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -28,12 +29,53 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+uint64_t ThreadPool::tasks_stolen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stolen_;
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    const int self = t_worker_index;
+    // A worker submitting keeps the task local; external submitters deal
+    // round-robin so concurrent coordinators spread their morsels across
+    // every deque instead of piling onto one.
+    uint32_t target;
+    if (self >= 0 && static_cast<size_t>(self) < queues_.size()) {
+      target = static_cast<uint32_t>(self);
+    } else {
+      target = next_queue_;
+      next_queue_ = (next_queue_ + 1) % static_cast<uint32_t>(queues_.size());
+    }
+    queues_[target].push_back(std::move(task));
   }
   cv_.notify_one();
+}
+
+bool ThreadPool::PopOrSteal(uint32_t index, std::function<void()>* task) {
+  std::deque<std::function<void()>>& own = queues_[index];
+  if (!own.empty()) {
+    *task = std::move(own.front());
+    own.pop_front();
+    return true;
+  }
+  // Steal from the back of the longest other deque: the back is the
+  // victim's coldest work, and the longest deque is where a backlog (one
+  // query flooding its coordinator's round-robin share) actually is.
+  size_t victim = queues_.size();
+  size_t victim_size = 0;
+  for (size_t q = 0; q < queues_.size(); ++q) {
+    if (q != index && queues_[q].size() > victim_size) {
+      victim = q;
+      victim_size = queues_[q].size();
+    }
+  }
+  if (victim == queues_.size()) return false;
+  *task = std::move(queues_[victim].back());
+  queues_[victim].pop_back();
+  ++stolen_;
+  return true;
 }
 
 void ThreadPool::WorkerLoop(uint32_t index) {
@@ -42,10 +84,11 @@ void ThreadPool::WorkerLoop(uint32_t index) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      while (true) {
+        if (PopOrSteal(index, &task)) break;
+        if (stop_) return;  // every deque drained and shutting down
+        cv_.wait(lock);
+      }
     }
     task();
   }

@@ -11,7 +11,15 @@
 
 namespace tempo {
 
-/// A fixed-size worker pool draining a shared chunk queue.
+/// A fixed-size worker pool with per-worker task deques and work stealing.
+///
+/// Submissions land on per-worker deques (round-robin from external
+/// threads; a pool worker submitting enqueues onto its own deque for
+/// locality). Each worker drains its own deque front-first and, when
+/// empty, steals from the back of the longest other deque — so one
+/// query's burst of morsels cannot strand another query's tasks behind
+/// it. This is what lets many concurrent joins share a single pool
+/// instead of spawning a pool per query.
 ///
 /// The executors use it morsel-style: a coordinator thread performs all
 /// page I/O in the paper's prescribed order (so charged I/O counts are
@@ -28,7 +36,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Drains the queue and joins all workers.
+  /// Drains the queues and joins all workers.
   ~ThreadPool();
 
   /// Enqueues a task. Safe to call from any thread.
@@ -37,6 +45,11 @@ class ThreadPool {
   uint32_t num_threads() const {
     return static_cast<uint32_t>(workers_.size());
   }
+
+  /// Tasks executed by workers that did not find them on their own deque
+  /// — the steal count. Monotonic over the pool's lifetime; used by tests
+  /// and the scheduler's observability.
+  uint64_t tasks_stolen() const;
 
   /// Index of the calling pool worker in [0, num_threads), or -1 when
   /// called from a thread that is not a pool worker (e.g. a coordinator
@@ -47,10 +60,21 @@ class ThreadPool {
  private:
   void WorkerLoop(uint32_t index);
 
+  /// Pops the next task for worker `index`: own deque front, else steal
+  /// from the back of the longest other deque. Caller holds mu_. Returns
+  /// false when every deque is empty.
+  bool PopOrSteal(uint32_t index, std::function<void()>* task);
+
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  /// One deque per worker, all guarded by the single pool mutex. The lock
+  /// is held only for queue surgery (push/pop/steal), never while a task
+  /// runs, so a shared lock is cheap next to morsel bodies; per-deque
+  /// locks would buy little and complicate the empty/stop protocol.
+  std::vector<std::deque<std::function<void()>>> queues_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
+  uint32_t next_queue_ = 0;  ///< round-robin target for external submits
+  uint64_t stolen_ = 0;
   bool stop_ = false;
 };
 

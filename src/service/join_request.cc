@@ -1,0 +1,140 @@
+#include "service/join_request.h"
+
+#include <algorithm>
+
+#include "core/partition_join.h"
+#include "core/planner.h"
+#include "core/radix_join.h"
+#include "join/indexed_join.h"
+#include "join/nested_loop_join.h"
+#include "join/reference_join.h"
+#include "join/sort_merge_join.h"
+
+namespace tempo {
+
+const char* JoinExecutorName(JoinExecutor e) {
+  switch (e) {
+    case JoinExecutor::kAuto:
+      return "auto";
+    case JoinExecutor::kNestedLoop:
+      return "nested-loop";
+    case JoinExecutor::kSortMerge:
+      return "sort-merge";
+    case JoinExecutor::kIndexed:
+      return "indexed";
+    case JoinExecutor::kPartition:
+      return "partition";
+    case JoinExecutor::kReference:
+      return "reference";
+    case JoinExecutor::kInMemoryRadix:
+      return "in-memory-radix";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// The oracle as an executor: both inputs read fully (charged as
+/// sequential scans), joined in memory, results appended through the
+/// normal buffered writer. Output order is the definition's r-outer /
+/// s-inner order, so repeated runs are byte-identical.
+StatusOr<JoinRunStats> RunReferenceJoin(StoredRelation* r, StoredRelation* s,
+                                        StoredRelation* out,
+                                        ExecContext* ctx) {
+  Disk* disk = r->disk();
+  IoAccountant& acct = disk->accountant();
+  if (ctx != nullptr && ctx->accountant() == nullptr) {
+    ctx->BindAccountant(&acct);
+  }
+  IoStats before = acct.stats();
+  TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> r_tuples, r->ReadAll());
+  TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> s_tuples, s->ReadAll());
+  TEMPO_ASSIGN_OR_RETURN(
+      std::vector<Tuple> result,
+      ReferenceValidTimeJoin(r->schema(), r_tuples, s->schema(), s_tuples));
+  for (const Tuple& t : result) {
+    TEMPO_RETURN_IF_ERROR(out->Append(t));
+  }
+  TEMPO_RETURN_IF_ERROR(out->Flush());
+  JoinRunStats stats;
+  stats.io = acct.stats() - before;
+  stats.output_tuples = result.size();
+  ExportMetrics(stats, ctx);
+  return stats;
+}
+
+Status ValidateJoinAttrs(const JoinRequest& req) {
+  if (req.expected_join_attrs.empty()) return Status::OK();
+  TEMPO_ASSIGN_OR_RETURN(
+      NaturalJoinLayout layout,
+      DeriveNaturalJoinLayout(req.r->schema(), req.s->schema()));
+  std::vector<std::string> actual;
+  actual.reserve(layout.r_join_attrs.size());
+  for (size_t pos : layout.r_join_attrs) {
+    actual.push_back(req.r->schema().attribute(pos).name);
+  }
+  std::vector<std::string> expected = req.expected_join_attrs;
+  std::sort(actual.begin(), actual.end());
+  std::sort(expected.begin(), expected.end());
+  if (actual != expected) {
+    std::string got = "{";
+    for (const std::string& a : actual) {
+      if (got.size() > 1) got += ", ";
+      got += a;
+    }
+    got += "}";
+    std::string want = "{";
+    for (const std::string& a : expected) {
+      if (want.size() > 1) want += ", ";
+      want += a;
+    }
+    want += "}";
+    return Status::InvalidArgument("join attributes mismatch: schemas share " +
+                                   got + " but the request expects " + want);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<JoinRunStats> RunJoin(const JoinRequest& req, StoredRelation* out,
+                               ExecContext* ctx) {
+  if (req.r == nullptr || req.s == nullptr) {
+    return Status::InvalidArgument(
+        "JoinRequest has no input relations (call From)");
+  }
+  if (out == nullptr) {
+    return Status::InvalidArgument("RunJoin needs an output relation");
+  }
+  if (out == req.r || out == req.s) {
+    return Status::InvalidArgument(
+        "output relation must be distinct from the inputs");
+  }
+  TEMPO_RETURN_IF_ERROR(ValidateJoinAttrs(req));
+
+  switch (req.executor) {
+    case JoinExecutor::kAuto:
+      return ExecuteVtJoin(req.r, req.s, out, req.options, ctx);
+    case JoinExecutor::kNestedLoop:
+      return NestedLoopVtJoin(req.r, req.s, out, req.options, ctx);
+    case JoinExecutor::kSortMerge:
+      return SortMergeVtJoin(req.r, req.s, out, req.options, ctx);
+    case JoinExecutor::kIndexed:
+      return IndexedVtJoin(req.r, req.s, out, req.options, ctx);
+    case JoinExecutor::kPartition: {
+      PartitionJoinOptions part;
+      static_cast<ExecOptions&>(part) = req.options;
+      return PartitionVtJoin(req.r, req.s, out, part, ctx);
+    }
+    case JoinExecutor::kReference:
+      return RunReferenceJoin(req.r, req.s, out, ctx);
+    case JoinExecutor::kInMemoryRadix: {
+      RadixJoinOptions radix;
+      static_cast<ExecOptions&>(radix) = req.options;
+      return RadixVtJoin(req.r, req.s, out, radix, ctx);
+    }
+  }
+  return Status::InvalidArgument("unknown executor");
+}
+
+}  // namespace tempo

@@ -1,0 +1,104 @@
+#ifndef TEMPO_SERVICE_JOIN_REQUEST_H_
+#define TEMPO_SERVICE_JOIN_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "join/join_common.h"
+#include "storage/stored_relation.h"
+
+namespace tempo {
+
+/// The evaluation strategies a JoinRequest may name. kAuto defers to the
+/// cost-based planner; the rest force one executor. kReference is the
+/// in-memory oracle (O(|r|*|s|)), kept addressable for verification runs.
+enum class JoinExecutor {
+  kAuto,
+  kNestedLoop,
+  kSortMerge,
+  kIndexed,
+  kPartition,
+  kReference,
+  kInMemoryRadix,
+};
+
+const char* JoinExecutorName(JoinExecutor e);
+
+/// One valid-time natural join, described declaratively: which relations,
+/// which executor, and the budget knobs — the single entry point that
+/// replaced six per-executor free functions. Build with the chainable
+/// setters and hand to RunJoin (or Session::Submit for the concurrent
+/// service):
+///
+///   JoinRequest req;
+///   req.From(&r, &s).Using(JoinExecutor::kPartition).BufferPages(32);
+///   TEMPO_ASSIGN_OR_RETURN(JoinRunStats stats, RunJoin(req, &out, &ctx));
+///
+/// The legacy free functions (NestedLoopVtJoin, SortMergeVtJoin,
+/// IndexedVtJoin, PartitionVtJoin, RadixVtJoin, ExecuteVtJoin) remain as
+/// thin deprecated entry points for one release; new code goes through
+/// RunJoin.
+struct JoinRequest {
+  StoredRelation* r = nullptr;
+  StoredRelation* s = nullptr;
+  JoinExecutor executor = JoinExecutor::kAuto;
+
+  /// Shared budget knobs (buffer_pages is the paper's buffSize — also the
+  /// page reservation the service's admission control charges).
+  VtJoinOptions options;
+
+  /// When non-empty, RunJoin validates that the natural join's shared
+  /// attributes are exactly these names (order-insensitive) and fails
+  /// with InvalidArgument otherwise — a schema-drift guard for requests
+  /// built from catalog names rather than literal relations.
+  std::vector<std::string> expected_join_attrs;
+
+  JoinRequest& From(StoredRelation* r_in, StoredRelation* s_in) {
+    r = r_in;
+    s = s_in;
+    return *this;
+  }
+  JoinRequest& Using(JoinExecutor e) {
+    executor = e;
+    return *this;
+  }
+  JoinRequest& On(std::vector<std::string> attrs) {
+    expected_join_attrs = std::move(attrs);
+    return *this;
+  }
+  JoinRequest& BufferPages(uint32_t pages) {
+    options.buffer_pages = pages;
+    return *this;
+  }
+  JoinRequest& Model(const CostModel& model) {
+    options.cost_model = model;
+    return *this;
+  }
+  JoinRequest& Seed(uint64_t seed) {
+    options.seed = seed;
+    return *this;
+  }
+  JoinRequest& RadixBudgetBytes(uint64_t bytes) {
+    options.radix_budget_bytes = bytes;
+    return *this;
+  }
+};
+
+/// Executes `req` into `out`. Dispatches to the named executor (kAuto
+/// plans first), after validating the request: relations present, out
+/// distinct from the inputs, and — when expected_join_attrs is set — the
+/// derived shared attributes match.
+///
+/// Parallelism comes from the Scheduler handle on `ctx` (serial when the
+/// context or handle is null), and all charged I/O lands on the
+/// accountant `Disk::accountant()` resolves for the calling thread — so
+/// the same request run through the concurrent service produces the same
+/// output pages and the same charged IoStats as a standalone call.
+StatusOr<JoinRunStats> RunJoin(const JoinRequest& req, StoredRelation* out,
+                               ExecContext* ctx = nullptr);
+
+}  // namespace tempo
+
+#endif  // TEMPO_SERVICE_JOIN_REQUEST_H_

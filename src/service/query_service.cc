@@ -1,0 +1,182 @@
+#include "service/query_service.h"
+
+#include <chrono>
+#include <utility>
+
+namespace tempo {
+
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+// --- QueryHandle -----------------------------------------------------------
+
+QueryHandle::QueryHandle(QueryService* service, JoinRequest request,
+                         std::unique_ptr<StoredRelation> output)
+    : service_(service),
+      request_(std::move(request)),
+      output_(std::move(output)) {}
+
+QueryHandle::~QueryHandle() {
+  Cancel();
+  Wait().ok();
+}
+
+Status QueryHandle::Wait() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!joined_) {
+    if (thread_.joinable()) thread_.join();  // publishes Run()'s writes
+    joined_ = true;
+  }
+  return status_;
+}
+
+void QueryHandle::Cancel() { ticket_->Cancel(); }
+
+void QueryHandle::Run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  Status admit = ticket_->Wait();
+  const double wait_us = MicrosSince(t0);
+  admission_wait_us_ = wait_us;
+  if (!admit.ok()) {
+    status_ = admit;
+    service_->RecordOutcome(/*cancelled=*/true, wait_us, MicrosSince(t0));
+    return;
+  }
+
+  // A fresh accountant per query, bound to this coordinator thread (and
+  // propagated by the executors to any helper thread they spawn): the
+  // query's head positions evolve exactly as in a standalone run, so its
+  // charged IoStats are identical at any concurrency level.
+  Disk* disk = service_->disk();
+  IoAccountant accountant;
+  accountant.set_head_model(disk->base_accountant().head_model());
+  StatusOr<JoinRunStats> result = Status::Internal("query did not run");
+  {
+    ScopedAccountantBinding binding(disk, &accountant);
+    ExecContext ctx;
+    ctx.SetScheduler(service_->scheduler());
+    ctx.BindAccountant(&accountant);
+    ScopedPoolRegistration pool_reg(&ctx,
+                                    service_->pool()->buffer_manager());
+    result = RunJoin(request_, output_.get(), &ctx);
+  }
+  // Return the reservation before bookkeeping so queued queries start
+  // as early as possible.
+  ticket_->Release();
+  if (result.ok()) {
+    stats_ = std::move(result).value();
+    status_ = Status::OK();
+  } else {
+    status_ = result.status();
+  }
+  service_->RecordOutcome(/*cancelled=*/false, wait_us, MicrosSince(t0));
+}
+
+// --- Session ---------------------------------------------------------------
+
+StatusOr<std::unique_ptr<QueryHandle>> Session::Submit(
+    const JoinRequest& request, const std::string& output_name) {
+  if (request.r == nullptr || request.s == nullptr) {
+    return Status::InvalidArgument(
+        "JoinRequest has no input relations (call From)");
+  }
+  // Reserve first: an impossible reservation (more pages than the whole
+  // pool) must fail fast instead of wedging the FIFO queue.
+  TEMPO_ASSIGN_OR_RETURN(
+      std::unique_ptr<AdmissionTicket> ticket,
+      service_->pool()->Request(request.options.buffer_pages));
+
+  TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout,
+                         DeriveNaturalJoinLayout(request.r->schema(),
+                                                 request.s->schema()));
+  std::string name = output_name;
+  if (name.empty()) {
+    name = "s" + std::to_string(id_) + ".q" + std::to_string(next_query_) +
+           ".out";
+  }
+  ++next_query_;
+  auto output = std::make_unique<StoredRelation>(service_->disk(),
+                                                 layout.output, name);
+  std::unique_ptr<QueryHandle> handle(
+      new QueryHandle(service_, request, std::move(output)));
+  handle->ticket_ = std::move(ticket);
+  handle->thread_ = std::thread([raw = handle.get()] { raw->Run(); });
+  return handle;
+}
+
+StatusOr<StoredRelation*> Session::Relation(const std::string& name) const {
+  return service_->Lookup(name);
+}
+
+// --- QueryService ----------------------------------------------------------
+
+StatusOr<std::unique_ptr<QueryService>> QueryService::Create(
+    Disk* disk, const QueryServiceOptions& options) {
+  if (disk == nullptr) {
+    return Status::InvalidArgument("QueryService needs a disk");
+  }
+  if (options.pool_pages == 0) {
+    return Status::InvalidArgument(
+        "QueryService needs a non-empty buffer pool");
+  }
+  TEMPO_ASSIGN_OR_RETURN(std::unique_ptr<Scheduler> scheduler,
+                         Scheduler::Create(options.scheduler));
+  return std::unique_ptr<QueryService>(
+      new QueryService(disk, std::move(scheduler), options.pool_pages));
+}
+
+Status QueryService::Register(StoredRelation* relation) {
+  if (relation == nullptr) {
+    return Status::InvalidArgument("cannot register a null relation");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = catalog_.emplace(relation->name(), relation);
+  if (!inserted) {
+    return Status::InvalidArgument("relation already registered: " +
+                                   relation->name());
+  }
+  return Status::OK();
+}
+
+StatusOr<StoredRelation*> QueryService::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no relation registered as: " + name);
+  }
+  return it->second;
+}
+
+Session QueryService::OpenSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Session(this, next_session_++);
+}
+
+MetricsRegistry QueryService::SnapshotMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsRegistry snapshot = metrics_;
+  snapshot.Set(Metric::kAdmissionQueuePeak,
+               static_cast<double>(pool_.queue_peak()));
+  return snapshot;
+}
+
+void QueryService::RecordOutcome(bool cancelled, double wait_us,
+                                 double latency_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cancelled) {
+    metrics_.Add(Metric::kQueriesCancelled, 1.0);
+  } else {
+    metrics_.Add(Metric::kQueriesCompleted, 1.0);
+    metrics_.Record(Hist::kAdmissionWaitUs, wait_us);
+  }
+  metrics_.Record(Hist::kQueryLatencyUs, latency_us);
+}
+
+}  // namespace tempo

@@ -1,0 +1,175 @@
+#ifndef TEMPO_SERVICE_QUERY_SERVICE_H_
+#define TEMPO_SERVICE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/statusor.h"
+#include "obs/exec_context.h"
+#include "parallel/scheduler.h"
+#include "service/join_request.h"
+#include "service/shared_buffer_pool.h"
+#include "storage/stored_relation.h"
+
+namespace tempo {
+
+class QueryService;
+class Session;
+
+/// Configuration of a QueryService.
+struct QueryServiceOptions {
+  /// Logical buffer pages shared by all concurrent queries; each admitted
+  /// query reserves its whole buffer_pages budget against this.
+  uint32_t pool_pages = 4096;
+
+  /// Worker-thread configuration, resolved against TEMPO_BENCH_THREADS by
+  /// Scheduler::Create (conflicting settings are an error).
+  SchedulerConfig scheduler;
+};
+
+/// One submitted join: a future over the join's result. Submit returns
+/// immediately; the query runs on its own coordinator thread (admission
+/// wait included), fanning CPU-bound morsels onto the service's shared
+/// work-stealing pool.
+///
+/// The handle owns the output relation and the final stats. Wait() blocks
+/// until the query finishes; Cancel() aborts a query still waiting in the
+/// admission queue (a running query is past cancellation — the paper's
+/// algorithms have no safe preemption points). Destroying the handle
+/// cancels-if-queued and joins.
+class QueryHandle {
+ public:
+  ~QueryHandle();
+
+  QueryHandle(const QueryHandle&) = delete;
+  QueryHandle& operator=(const QueryHandle&) = delete;
+
+  /// Blocks until the query completes (or its cancellation lands) and
+  /// returns the execution status. Idempotent.
+  Status Wait();
+
+  /// Cancels the query if it is still queued for admission; its
+  /// reservation slot is released immediately so queries behind it can
+  /// run. No effect once admitted.
+  void Cancel();
+
+  /// The result relation; rows are valid only after Wait() returned OK.
+  StoredRelation* output() { return output_.get(); }
+
+  /// The run's stats; valid only after Wait() returned OK.
+  const JoinRunStats& stats() const { return stats_; }
+
+  /// Microseconds this query spent queued for admission (valid after
+  /// Wait()).
+  double admission_wait_us() const { return admission_wait_us_; }
+
+ private:
+  friend class Session;
+
+  QueryHandle(QueryService* service, JoinRequest request,
+              std::unique_ptr<StoredRelation> output);
+
+  void Run();  // thread body
+
+  QueryService* service_;
+  JoinRequest request_;
+  std::unique_ptr<StoredRelation> output_;
+  std::unique_ptr<AdmissionTicket> ticket_;  // written before thread start
+
+  std::mutex mu_;
+  bool joined_ = false;
+  Status status_ = Status::OK();
+  JoinRunStats stats_;
+  double admission_wait_us_ = 0.0;
+  std::thread thread_;
+};
+
+/// A client's handle into the service: a factory for queries over the
+/// service's registered (shared, immutable) relations. Sessions are
+/// lightweight — state lives in the service — and must not outlive it.
+class Session {
+ public:
+  /// Submits a join for concurrent execution. The output relation is
+  /// created on the service's disk with the derived natural-join schema,
+  /// named after the session and a per-session query counter (override
+  /// with `output_name`). Fails fast (without queueing) when the request
+  /// is malformed or its reservation exceeds the whole pool.
+  StatusOr<std::unique_ptr<QueryHandle>> Submit(
+      const JoinRequest& request, const std::string& output_name = "");
+
+  /// Looks up a relation registered with the service.
+  StatusOr<StoredRelation*> Relation(const std::string& name) const;
+
+  uint64_t id() const { return id_; }
+
+ private:
+  friend class QueryService;
+  Session(QueryService* service, uint64_t id)
+      : service_(service), id_(id) {}
+
+  QueryService* service_;
+  uint64_t id_;
+  uint64_t next_query_ = 0;
+};
+
+/// The concurrent query service: one shared scheduler (work-stealing
+/// thread pool), one shared buffer pool with strict-FIFO admission
+/// control, and a catalog of shared immutable input relations. Sessions
+/// submit JoinRequests; each query runs with a private IoAccountant bound
+/// to its coordinator thread, so its output pages and charged IoStats are
+/// byte-identical to running the same request alone (see DESIGN.md §4h).
+class QueryService {
+ public:
+  /// Resolves the scheduler config (TEMPO_BENCH_THREADS conflicts are an
+  /// error) and builds the service.
+  static StatusOr<std::unique_ptr<QueryService>> Create(
+      Disk* disk, const QueryServiceOptions& options);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Registers a relation under its name for lookup by sessions. The
+  /// relation must stay alive and unmodified while the service runs.
+  Status Register(StoredRelation* relation);
+
+  StatusOr<StoredRelation*> Lookup(const std::string& name) const;
+
+  Session OpenSession();
+
+  Disk* disk() { return disk_; }
+  Scheduler* scheduler() { return scheduler_.get(); }
+  SharedBufferPool* pool() { return &pool_; }
+
+  /// Snapshot of the service's lifetime metrics (queries completed /
+  /// cancelled, admission queue peak, wait and latency histograms).
+  MetricsRegistry SnapshotMetrics() const;
+
+ private:
+  friend class QueryHandle;
+
+  QueryService(Disk* disk, std::unique_ptr<Scheduler> scheduler,
+               uint32_t pool_pages)
+      : disk_(disk), scheduler_(std::move(scheduler)),
+        pool_(disk, pool_pages) {}
+
+  /// Called by each query's thread as it finishes (MetricsRegistry
+  /// scalars are not thread-safe; the service serializes them here).
+  void RecordOutcome(bool cancelled, double wait_us, double latency_us);
+
+  Disk* disk_;
+  std::unique_ptr<Scheduler> scheduler_;
+  SharedBufferPool pool_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, StoredRelation*> catalog_;
+  MetricsRegistry metrics_;
+  uint64_t next_session_ = 0;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SERVICE_QUERY_SERVICE_H_

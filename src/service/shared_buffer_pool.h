@@ -1,0 +1,140 @@
+#ifndef TEMPO_SERVICE_SHARED_BUFFER_POOL_H_
+#define TEMPO_SERVICE_SHARED_BUFFER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "common/statusor.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk.h"
+
+namespace tempo {
+
+class SharedBufferPool;
+
+/// One query's buffer-page reservation, issued by
+/// SharedBufferPool::Request. States move strictly forward:
+///
+///   queued --> granted --> released        (normal life cycle)
+///   queued --> cancelled                   (Cancel before the grant)
+///
+/// Wait() blocks until the ticket leaves the queued state and returns OK
+/// (granted) or Cancelled. Destroying the ticket releases whatever it
+/// holds: a granted ticket returns its pages (waking the queue), a queued
+/// one removes itself from the queue (equivalent to Cancel).
+class AdmissionTicket {
+ public:
+  ~AdmissionTicket() { Release(); }
+
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  /// Blocks until granted (OK) or cancelled (Cancelled status).
+  Status Wait();
+
+  /// Cancels the reservation if still queued; the slot is removed from
+  /// the FIFO immediately, so queries behind it can be admitted. A
+  /// granted or already-finished ticket is unaffected.
+  void Cancel();
+
+  /// Returns the reservation (idempotent). Granted pages go back to the
+  /// pool; a still-queued ticket is cancelled.
+  void Release();
+
+  uint32_t pages() const { return pages_; }
+
+  /// True once the ticket has been granted (and not yet released).
+  bool granted() const;
+
+ private:
+  friend class SharedBufferPool;
+  enum class State { kQueued, kGranted, kCancelled, kReleased };
+
+  AdmissionTicket(SharedBufferPool* pool, uint32_t pages)
+      : pool_(pool), pages_(pages) {}
+
+  SharedBufferPool* pool_;
+  const uint32_t pages_;
+  State state_ = State::kQueued;  // guarded by pool_->mu_
+};
+
+/// The concurrent query service's shared buffer memory: a logical ledger
+/// of `capacity_pages` pages with strict-FIFO admission control, plus one
+/// shared BufferManager for cached page access.
+///
+/// Each query reserves its whole buffer budget (the paper's buffSize) up
+/// front: Request(pages) returns a ticket that is granted immediately
+/// when the pages are free *and* no earlier query is still waiting —
+/// admission is strictly first-come-first-served, so a small query cannot
+/// overtake a large one and starve it. When the front reservation cannot
+/// fit, every later query waits behind it. A request larger than the whole
+/// pool fails immediately with ResourceExhausted (it could never be
+/// granted; queueing it would deadlock the FIFO).
+///
+/// The ledger is intentionally decoupled from the executors' actual page
+/// usage: the paper's algorithms manage their buffSize budget internally,
+/// so admission control only needs to guarantee that the *sum of budgets*
+/// of running queries never exceeds the pool — the same contract a real
+/// buffer manager's reservation API would enforce.
+class SharedBufferPool {
+ public:
+  SharedBufferPool(Disk* disk, uint32_t capacity_pages)
+      : capacity_(capacity_pages),
+        available_(capacity_pages),
+        buffers_(disk, capacity_pages) {}
+
+  SharedBufferPool(const SharedBufferPool&) = delete;
+  SharedBufferPool& operator=(const SharedBufferPool&) = delete;
+
+  /// Reserves `pages` of the pool. ResourceExhausted when pages == 0 or
+  /// pages > capacity. Otherwise returns a queued (or, when the pool is
+  /// idle and the pages free, immediately granted) ticket; call Wait().
+  StatusOr<std::unique_ptr<AdmissionTicket>> Request(uint32_t pages);
+
+  uint32_t capacity_pages() const { return capacity_; }
+  uint32_t available_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return available_;
+  }
+
+  /// Queries currently waiting in the admission queue.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  /// Peak queue depth over the pool's lifetime (the admission_queue_peak
+  /// metric).
+  uint64_t queue_peak() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_peak_;
+  }
+
+  /// The shared page cache over the same disk, sized to the pool. Query
+  /// contexts register it for hit/miss observability.
+  BufferManager* buffer_manager() { return &buffers_; }
+
+ private:
+  friend class AdmissionTicket;
+
+  /// Grants from the queue front while reservations fit. Caller holds mu_.
+  void GrantFromFront();
+
+  /// Removes a queued ticket from the FIFO. Caller holds mu_.
+  void Unqueue(AdmissionTicket* ticket);
+
+  const uint32_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint32_t available_;  // guarded by mu_
+  std::deque<AdmissionTicket*> queue_;
+  uint64_t queue_peak_ = 0;
+  BufferManager buffers_;
+};
+
+}  // namespace tempo
+
+#endif  // TEMPO_SERVICE_SHARED_BUFFER_POOL_H_

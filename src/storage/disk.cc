@@ -1,8 +1,51 @@
 #include "storage/disk.h"
 
 #include <chrono>
+#include <utility>
+#include <vector>
 
 namespace tempo {
+
+namespace {
+
+/// Per-thread stack of {disk, accountant} bindings (innermost last). A
+/// stack rather than a single slot so a query that nests scopes — or a
+/// test that runs a query inside another binding — restores the outer
+/// ledger on exit. Scanned from the back on each access; depth is 0 or 1
+/// in practice, so the scan is effectively a pointer compare.
+thread_local std::vector<std::pair<const Disk*, IoAccountant*>> t_bindings;
+
+IoAccountant* FindBinding(const Disk* disk) {
+  for (auto it = t_bindings.rbegin(); it != t_bindings.rend(); ++it) {
+    if (it->first == disk) return it->second;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ScopedAccountantBinding::ScopedAccountantBinding(const Disk* disk,
+                                                 IoAccountant* accountant) {
+  if (disk == nullptr || accountant == nullptr) return;
+  t_bindings.emplace_back(disk, accountant);
+  pushed_ = true;
+}
+
+ScopedAccountantBinding::~ScopedAccountantBinding() {
+  if (pushed_) t_bindings.pop_back();
+}
+
+IoAccountant& Disk::accountant() {
+  IoAccountant* bound = FindBinding(this);
+  return bound != nullptr ? *bound : accountant_;
+}
+
+const IoAccountant& Disk::accountant() const {
+  const IoAccountant* bound = FindBinding(this);
+  return bound != nullptr ? *bound : accountant_;
+}
+
+IoAccountant* Disk::BoundAccountant() const { return FindBinding(this); }
 
 FileId Disk::CreateFile(std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -72,7 +115,8 @@ Status Disk::ReadPage(FileId id, uint32_t page_no, Page* out) {
   // Latency capture at the Disk/IoAccountant boundary: only when an
   // ExecContext installed a sink. The timed window includes lock wait, so
   // contention between the parallel coordinators shows up in the tail.
-  LogHistogram* latency = accountant_.latency_sink();
+  IoAccountant& acct = accountant();
+  LogHistogram* latency = acct.latency_sink();
   std::chrono::steady_clock::time_point t0;
   if (latency != nullptr) t0 = std::chrono::steady_clock::now();
   {
@@ -83,7 +127,7 @@ Status Disk::ReadPage(FileId id, uint32_t page_no, Page* out) {
                                 std::to_string(page_no) + " of " + f->name);
     }
     TEMPO_RETURN_IF_ERROR(CheckFault());
-    accountant_.RecordRead(id, page_no, f->charged);
+    acct.RecordRead(id, page_no, f->charged);
     *out = *f->pages[page_no];
   }
   if (latency != nullptr) {
@@ -102,7 +146,7 @@ Status Disk::WritePage(FileId id, uint32_t page_no, const Page& page) {
                               std::to_string(page_no) + " of " + f->name);
   }
   TEMPO_RETURN_IF_ERROR(CheckFault());
-  accountant_.RecordWrite(id, page_no, f->charged);
+  accountant().RecordWrite(id, page_no, f->charged);
   *f->pages[page_no] = page;
   return Status::OK();
 }
@@ -112,7 +156,7 @@ StatusOr<uint32_t> Disk::AppendPage(FileId id, const Page& page) {
   TEMPO_ASSIGN_OR_RETURN(File * f, Find(id));
   TEMPO_RETURN_IF_ERROR(CheckFault());
   uint32_t page_no = static_cast<uint32_t>(f->pages.size());
-  accountant_.RecordWrite(id, page_no, f->charged);
+  accountant().RecordWrite(id, page_no, f->charged);
   f->pages.push_back(std::make_unique<Page>(page));
   return page_no;
 }

@@ -76,8 +76,28 @@ class Disk {
   /// Appends a page; returns its page number.
   StatusOr<uint32_t> AppendPage(FileId id, const Page& page);
 
-  IoAccountant& accountant() { return accountant_; }
-  const IoAccountant& accountant() const { return accountant_; }
+  /// The accountant charged by page traffic *from the calling thread*: the
+  /// innermost ScopedAccountantBinding installed on this thread for this
+  /// disk, or the disk's own base accountant when none is bound. Single-
+  /// query code never notices the indirection; the concurrent query
+  /// service binds a fresh per-query accountant around each query so that
+  /// per-query head positions — and therefore charged IoStats — are
+  /// byte-identical to a serial run of the same query.
+  IoAccountant& accountant();
+  const IoAccountant& accountant() const;
+
+  /// The disk's own accountant, ignoring any thread binding. Aggregate
+  /// observers (TotalBufferCounters-style dashboards, tests asserting the
+  /// unbound default) read this.
+  IoAccountant& base_accountant() { return accountant_; }
+  const IoAccountant& base_accountant() const { return accountant_; }
+
+  /// The accountant bound on the calling thread for this disk, or null
+  /// when unbound. Executors that move charged I/O onto a helper thread
+  /// (the partition join's R-partitioning thread) capture this before
+  /// spawning and re-bind it inside via ScopedAccountantBinding, so the
+  /// helper charges the same per-query ledger as its coordinator.
+  IoAccountant* BoundAccountant() const;
 
   /// Total pages across all files (simulated secondary-storage footprint;
   /// used by the replication-vs-migration ablation).
@@ -115,6 +135,25 @@ class Disk {
   IoAccountant accountant_;
   bool fault_armed_ = false;
   uint64_t fault_countdown_ = 0;
+};
+
+/// Binds `accountant` as the calling thread's ledger for all page traffic
+/// on `disk` for the lifetime of this object (a null accountant is a
+/// no-op, which lets callers forward a possibly-absent binding verbatim).
+/// Bindings are per-thread and nest innermost-wins; they are how multiple
+/// concurrent queries share one Disk while each keeps the private head
+/// model that makes its charged IoStats equal to a serial run.
+class ScopedAccountantBinding {
+ public:
+  ScopedAccountantBinding(const Disk* disk, IoAccountant* accountant);
+
+  ScopedAccountantBinding(const ScopedAccountantBinding&) = delete;
+  ScopedAccountantBinding& operator=(const ScopedAccountantBinding&) = delete;
+
+  ~ScopedAccountantBinding();
+
+ private:
+  bool pushed_ = false;
 };
 
 }  // namespace tempo

@@ -18,6 +18,7 @@
 #include "join/nested_loop_join.h"
 #include "join/sort_merge_join.h"
 #include "obs/explain.h"
+#include "parallel/scheduler.h"
 #include "test_util.h"
 
 namespace tempo {
@@ -76,8 +77,12 @@ PartitionRun RunPartitionJoin(const JoinInputs& in, ExecContext* ctx,
 
   PartitionJoinOptions options;
   options.buffer_pages = 4;
-  options.parallel.num_threads = num_threads;
+  // Thread count rides on the context's scheduler handle now; the handle
+  // is cleared again before the local scheduler dies.
+  Scheduler scheduler(SchedulerConfig{num_threads, /*morsel_pages=*/4});
+  if (ctx != nullptr) ctx->SetScheduler(&scheduler);
   auto stats_or = PartitionVtJoin(r.get(), s.get(), &out, options, ctx);
+  if (ctx != nullptr) ctx->SetScheduler(nullptr);
   EXPECT_TRUE(stats_or.ok()) << stats_or.status().ToString();
   if (!stats_or.ok()) return run;
   run.stats = std::move(stats_or).value();
@@ -342,8 +347,10 @@ TEST(MetricsTest, NoExecutorEmitsUndeclaredMetrics) {
     StoredRelation out(&disk, out_schema, "out");
     PartitionJoinOptions options;
     options.buffer_pages = 4;
-    options.parallel.num_threads = 4;
-    auto stats_or = PartitionVtJoin(r.get(), s.get(), &out, options, nullptr);
+    Scheduler scheduler(SchedulerConfig{4, /*morsel_pages=*/4});
+    ExecContext pctx;
+    pctx.SetScheduler(&scheduler);
+    auto stats_or = PartitionVtJoin(r.get(), s.get(), &out, options, &pctx);
     ASSERT_TRUE(stats_or.ok());
     ExpectAllDeclared(stats_or.value(), "partition");
   }

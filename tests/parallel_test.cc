@@ -16,7 +16,9 @@
 #include "join/nested_loop_join.h"
 #include "join/reference_join.h"
 #include "join/sort_merge_join.h"
+#include "obs/exec_context.h"
 #include "parallel/parallel_for.h"
+#include "parallel/scheduler.h"
 #include "parallel/thread_pool.h"
 #include "test_util.h"
 #include "workload/generator.h"
@@ -28,6 +30,17 @@ using ::tempo::testing::MakeRelation;
 using ::tempo::testing::RandomTuples;
 using ::tempo::testing::T;
 using ::tempo::testing::TestSchema;
+
+// Executors take their thread count from the scheduler handle on the
+// ExecContext now; this bundles the pair for the thread-sweep tests.
+struct ScopedScheduler {
+  explicit ScopedScheduler(uint32_t threads)
+      : scheduler(SchedulerConfig{threads, /*morsel_pages=*/4}) {
+    ctx.SetScheduler(&scheduler);
+  }
+  Scheduler scheduler;
+  ExecContext ctx;
+};
 
 // ---------------------------------------------------------------------
 // ThreadPool / TaskGroup
@@ -162,9 +175,10 @@ TEST(ParallelJoinTest, OverflowChunksMatchReferenceAcrossThreadCounts) {
     PartitionJoinOptions options;
     options.buffer_pages = 4;
     options.forced_num_partitions = 2;
-    options.parallel.num_threads = threads;
+    ScopedScheduler sched(threads);
     TEMPO_ASSERT_OK_AND_ASSIGN(
-        JoinRunStats stats, PartitionVtJoin(r.get(), s.get(), &out, options));
+        JoinRunStats stats,
+        PartitionVtJoin(r.get(), s.get(), &out, options, &sched.ctx));
 
     EXPECT_GT(stats.Get(Metric::kOverflowChunks), 0.0)
         << "workload must exercise the chunked outer-area path";
@@ -227,8 +241,8 @@ RunResult RunSkewedPartitionJoin(uint32_t num_threads) {
 
   PartitionJoinOptions options;
   options.buffer_pages = 16;  // small memory => several partitions
-  options.parallel.num_threads = num_threads;
-  auto stats = PartitionVtJoin(r.get(), s.get(), &out, options);
+  ScopedScheduler sched(num_threads);
+  auto stats = PartitionVtJoin(r.get(), s.get(), &out, options, &sched.ctx);
   if (!stats.ok()) {
     ADD_FAILURE() << stats.status().ToString();
     return result;
@@ -287,9 +301,10 @@ TEST(ParallelJoinTest, SortMergeAgreesAcrossThreadCounts) {
     StoredRelation out(&disk, layout.output, "out");
     VtJoinOptions options;
     options.buffer_pages = 8;  // forces real run formation + merges
-    options.parallel.num_threads = threads;
+    ScopedScheduler sched(threads);
     TEMPO_ASSERT_OK_AND_ASSIGN(
-        JoinRunStats stats, SortMergeVtJoin(r.get(), s.get(), &out, options));
+        JoinRunStats stats,
+        SortMergeVtJoin(r.get(), s.get(), &out, options, &sched.ctx));
     TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> actual, out.ReadAll());
     EXPECT_TRUE(SameTupleMultiset(actual, expected)) << "threads=" << threads;
     if (threads == 1) {
@@ -355,32 +370,32 @@ TEST(ZeroCopyLockTest, AllExecutorsByteIdenticalAcrossThreadCounts) {
           uint32_t threads) {
          VtJoinOptions o;
          o.buffer_pages = 8;
-         o.parallel.num_threads = threads;
-         return NestedLoopVtJoin(r, s, out, o);
+         ScopedScheduler sched(threads);
+         return NestedLoopVtJoin(r, s, out, o, &sched.ctx);
        }},
       {"sort_merge",
        [](StoredRelation* r, StoredRelation* s, StoredRelation* out,
           uint32_t threads) {
          VtJoinOptions o;
          o.buffer_pages = 8;
-         o.parallel.num_threads = threads;
-         return SortMergeVtJoin(r, s, out, o);
+         ScopedScheduler sched(threads);
+         return SortMergeVtJoin(r, s, out, o, &sched.ctx);
        }},
       {"indexed",
        [](StoredRelation* r, StoredRelation* s, StoredRelation* out,
           uint32_t threads) {
          VtJoinOptions o;
          o.buffer_pages = 12;
-         o.parallel.num_threads = threads;
-         return IndexedVtJoin(r, s, out, o);
+         ScopedScheduler sched(threads);
+         return IndexedVtJoin(r, s, out, o, &sched.ctx);
        }},
       {"partition",
        [](StoredRelation* r, StoredRelation* s, StoredRelation* out,
           uint32_t threads) {
          PartitionJoinOptions o;
          o.buffer_pages = 8;  // forces several partitions + spill paths
-         o.parallel.num_threads = threads;
-         return PartitionVtJoin(r, s, out, o);
+         ScopedScheduler sched(threads);
+         return PartitionVtJoin(r, s, out, o, &sched.ctx);
        }},
   };
 
@@ -433,9 +448,10 @@ TEST(ZeroCopyLockTest, CoalesceByteIdenticalAcrossThreadCounts) {
     PartitionJoinOptions o;
     o.buffer_pages = 8;
     o.forced_num_partitions = 3;  // exercise the carry-across path
-    o.parallel.num_threads = threads;
-    TEMPO_ASSERT_OK_AND_ASSIGN(JoinRunStats stats,
-                               PartitionCoalesce(in.get(), &out, o, nullptr));
+    ScopedScheduler sched(threads);
+    TEMPO_ASSERT_OK_AND_ASSIGN(
+        JoinRunStats stats,
+        PartitionCoalesce(in.get(), &out, o, &sched.ctx));
     ExecRun run;
     run.io = stats.io;
     run.output_tuples = stats.output_tuples;

@@ -12,6 +12,7 @@
 #include "core/radix_join.h"
 #include "join/reference_join.h"
 #include "obs/explain.h"
+#include "parallel/scheduler.h"
 #include "test_util.h"
 
 namespace tempo {
@@ -105,9 +106,11 @@ TEST(RadixJoinTest, ByteIdenticalAndIoIdenticalToReferenceAcrossThreads) {
     disk.accountant().Reset();
     RadixJoinOptions options;
     options.buffer_pages = 4096;  // 16 MiB budget: everything fits
-    options.parallel.num_threads = threads;
-    TEMPO_ASSERT_OK_AND_ASSIGN(JoinRunStats stats,
-                               RadixVtJoin(r.get(), s.get(), &out, options));
+    Scheduler scheduler(SchedulerConfig{threads, /*morsel_pages=*/4});
+    ExecContext ctx;
+    ctx.SetScheduler(&scheduler);
+    TEMPO_ASSERT_OK_AND_ASSIGN(
+        JoinRunStats stats, RadixVtJoin(r.get(), s.get(), &out, options, &ctx));
     ExecRun run;
     run.io = stats.io;
     run.output_tuples = stats.output_tuples;
@@ -147,9 +150,11 @@ TEST(RadixJoinTest, SkewedKeysOverflowOneBucket) {
     RadixJoinOptions options;
     options.buffer_pages = 4096;
     options.bucket_target_bytes = 1024;  // forces at least one radix pass
-    options.parallel.num_threads = threads;
-    TEMPO_ASSERT_OK_AND_ASSIGN(JoinRunStats stats,
-                               RadixVtJoin(r.get(), s.get(), &out, options));
+    Scheduler scheduler(SchedulerConfig{threads, /*morsel_pages=*/4});
+    ExecContext ctx;
+    ctx.SetScheduler(&scheduler);
+    TEMPO_ASSERT_OK_AND_ASSIGN(
+        JoinRunStats stats, RadixVtJoin(r.get(), s.get(), &out, options, &ctx));
     EXPECT_GE(stats.Get(Metric::kRadixPasses), 1.0);
     EXPECT_EQ(stats.Get(Metric::kRadixBuckets), 1.0);  // all keys collide
     ExecRun run;

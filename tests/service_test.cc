@@ -1,0 +1,477 @@
+// Tests for the concurrent query service: strict-FIFO admission control
+// on the shared buffer pool, queued-query cancellation, the JoinRequest
+// facade, the thread-count conflict rule, and the headline guarantee that
+// a query's output pages and charged IoStats are byte-identical to a
+// standalone run at any concurrency level.
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "join/reference_join.h"
+#include "parallel/scheduler.h"
+#include "service/query_service.h"
+#include "test_util.h"
+#include "workload/generator.h"
+
+namespace tempo {
+namespace {
+
+using ::tempo::testing::MakeRelation;
+using ::tempo::testing::RandomTuples;
+using ::tempo::testing::T;
+using ::tempo::testing::TestSchema;
+
+Schema SSchema() {
+  return Schema({{"key", ValueType::kInt64}, {"sval", ValueType::kString}});
+}
+
+Tuple S(int64_t key, const std::string& v, Chronon vs, Chronon ve) {
+  return Tuple({Value(key), Value(v)}, Interval(vs, ve));
+}
+
+// ---------------------------------------------------------------------
+// SharedBufferPool admission
+// ---------------------------------------------------------------------
+
+TEST(SharedBufferPoolTest, OverCapacityRequestFailsFastNotDeadlocks) {
+  Disk disk;
+  SharedBufferPool pool(&disk, 8);
+  auto ticket = pool.Request(9);
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kResourceExhausted)
+      << ticket.status().ToString();
+  // The impossible request must not occupy the queue.
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  // The pool still works afterwards.
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto ok_ticket, pool.Request(8));
+  EXPECT_TRUE(ok_ticket->granted());
+}
+
+TEST(SharedBufferPoolTest, ZeroPageRequestIsInvalid) {
+  Disk disk;
+  SharedBufferPool pool(&disk, 8);
+  auto ticket = pool.Request(0);
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SharedBufferPoolTest, StrictFifoFrontBlocksSmallerLaterRequests) {
+  Disk disk;
+  SharedBufferPool pool(&disk, 10);
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto a, pool.Request(6));
+  EXPECT_TRUE(a->granted());  // 4 pages left
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto b, pool.Request(6));
+  EXPECT_FALSE(b->granted());  // does not fit
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto c, pool.Request(2));
+  // c would fit the 4 free pages, but strict FIFO means the blocked front
+  // (b) holds it back — that is the no-starvation guarantee.
+  EXPECT_FALSE(c->granted());
+  EXPECT_EQ(pool.queue_depth(), 2u);
+
+  a->Release();
+  // b (6 pages) grants, then c (2 pages) fits the remaining 4 too.
+  EXPECT_TRUE(b->granted());
+  EXPECT_TRUE(c->granted());
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.available_pages(), 2u);
+}
+
+TEST(SharedBufferPoolTest, FifoFairnessUnderEightQueuedRequests) {
+  Disk disk;
+  SharedBufferPool pool(&disk, 4);
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto holder, pool.Request(4));
+  EXPECT_TRUE(holder->granted());
+
+  std::vector<std::unique_ptr<AdmissionTicket>> queued;
+  for (int i = 0; i < 8; ++i) {
+    TEMPO_ASSERT_OK_AND_ASSIGN(auto t, pool.Request(4));
+    EXPECT_FALSE(t->granted());
+    queued.push_back(std::move(t));
+  }
+  EXPECT_EQ(pool.queue_depth(), 8u);
+  EXPECT_EQ(pool.queue_peak(), 8u);
+
+  // Releasing the holder admits exactly the oldest waiter, and so on down
+  // the queue in submission order.
+  holder->Release();
+  for (size_t i = 0; i < queued.size(); ++i) {
+    EXPECT_TRUE(queued[i]->granted()) << "ticket " << i;
+    for (size_t j = i + 1; j < queued.size(); ++j) {
+      EXPECT_FALSE(queued[j]->granted())
+          << "ticket " << j << " admitted out of order";
+    }
+    queued[i]->Release();
+  }
+  EXPECT_EQ(pool.available_pages(), 4u);
+}
+
+TEST(SharedBufferPoolTest, CancellingQueuedTicketUnblocksThoseBehindIt) {
+  Disk disk;
+  SharedBufferPool pool(&disk, 4);
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto holder, pool.Request(4));
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto b, pool.Request(4));
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto c, pool.Request(2));
+  EXPECT_EQ(pool.queue_depth(), 2u);
+
+  // Cancelling the queued front re-evaluates the queue...
+  b->Cancel();
+  EXPECT_EQ(pool.queue_depth(), 1u);
+  EXPECT_FALSE(c->granted());  // ...but nothing is free yet.
+  EXPECT_EQ(b->Wait().code(), StatusCode::kCancelled);
+
+  holder->Release();
+  EXPECT_TRUE(c->granted());
+  TEMPO_ASSERT_OK(c->Wait());
+}
+
+// ---------------------------------------------------------------------
+// Scheduler config resolution (the one thread knob)
+// ---------------------------------------------------------------------
+
+struct ScopedEnv {
+  explicit ScopedEnv(const char* value) {
+    if (value == nullptr) {
+      unsetenv("TEMPO_BENCH_THREADS");
+    } else {
+      setenv("TEMPO_BENCH_THREADS", value, 1);
+    }
+  }
+  ~ScopedEnv() { unsetenv("TEMPO_BENCH_THREADS"); }
+};
+
+TEST(SchedulerConfigTest, UnsetEnvDefersToRequestOrSerial) {
+  ScopedEnv env(nullptr);
+  TEMPO_ASSERT_OK_AND_ASSIGN(SchedulerConfig c0,
+                             ResolveSchedulerConfig(SchedulerConfig{0, 4}));
+  EXPECT_EQ(c0.num_threads, 1u);
+  TEMPO_ASSERT_OK_AND_ASSIGN(SchedulerConfig c5,
+                             ResolveSchedulerConfig(SchedulerConfig{5, 4}));
+  EXPECT_EQ(c5.num_threads, 5u);
+}
+
+TEST(SchedulerConfigTest, EnvDecidesWhenCallerLeavesItOpen) {
+  ScopedEnv env("3");
+  TEMPO_ASSERT_OK_AND_ASSIGN(SchedulerConfig c,
+                             ResolveSchedulerConfig(SchedulerConfig{0, 4}));
+  EXPECT_EQ(c.num_threads, 3u);
+}
+
+TEST(SchedulerConfigTest, AgreeingKnobsAreFine) {
+  ScopedEnv env("3");
+  TEMPO_ASSERT_OK_AND_ASSIGN(SchedulerConfig c,
+                             ResolveSchedulerConfig(SchedulerConfig{3, 4}));
+  EXPECT_EQ(c.num_threads, 3u);
+}
+
+TEST(SchedulerConfigTest, ConflictingKnobsAreAnError) {
+  ScopedEnv env("3");
+  auto c = ResolveSchedulerConfig(SchedulerConfig{2, 4});
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(c.status().message().find("TEMPO_BENCH_THREADS"),
+            std::string::npos)
+      << c.status().ToString();
+}
+
+// ---------------------------------------------------------------------
+// JoinRequest facade
+// ---------------------------------------------------------------------
+
+struct FacadeInputs {
+  std::vector<Tuple> r_tuples;
+  std::vector<Tuple> s_tuples;
+  std::vector<Tuple> expected;
+};
+
+FacadeInputs MakeFacadeInputs() {
+  FacadeInputs in;
+  Random rng(17);
+  in.r_tuples = RandomTuples(rng, 300, 25, 500, 0.25);
+  for (const Tuple& t : RandomTuples(rng, 260, 25, 500, 0.25)) {
+    in.s_tuples.push_back(S(t.value(0).AsInt64(), t.value(1).AsString(),
+                            t.interval().start(), t.interval().end()));
+  }
+  auto expected = ReferenceValidTimeJoin(TestSchema(), in.r_tuples, SSchema(),
+                                         in.s_tuples);
+  if (expected.ok()) in.expected = *std::move(expected);
+  return in;
+}
+
+TEST(JoinRequestTest, EveryExecutorMatchesTheReference) {
+  FacadeInputs in = MakeFacadeInputs();
+  ASSERT_FALSE(in.expected.empty());
+  for (JoinExecutor executor :
+       {JoinExecutor::kAuto, JoinExecutor::kNestedLoop,
+        JoinExecutor::kSortMerge, JoinExecutor::kIndexed,
+        JoinExecutor::kPartition, JoinExecutor::kReference,
+        JoinExecutor::kInMemoryRadix}) {
+    Disk disk;
+    auto r = MakeRelation(&disk, TestSchema(), in.r_tuples, "r");
+    auto s = MakeRelation(&disk, SSchema(), in.s_tuples, "s");
+    TEMPO_ASSERT_OK_AND_ASSIGN(
+        NaturalJoinLayout layout,
+        DeriveNaturalJoinLayout(TestSchema(), SSchema()));
+    StoredRelation out(&disk, layout.output, "out");
+    JoinRequest request;
+    request.From(r.get(), s.get()).Using(executor).BufferPages(8).On({"key"});
+    if (executor == JoinExecutor::kInMemoryRadix) {
+      request.RadixBudgetBytes(uint64_t{1} << 20);  // inputs must fit
+    }
+    auto stats = RunJoin(request, &out);
+    ASSERT_TRUE(stats.ok()) << JoinExecutorName(executor) << ": "
+                            << stats.status().ToString();
+    TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> actual, out.ReadAll());
+    EXPECT_TRUE(SameTupleMultiset(actual, in.expected))
+        << JoinExecutorName(executor) << " actual=" << actual.size()
+        << " expected=" << in.expected.size();
+    EXPECT_EQ(stats->output_tuples, in.expected.size())
+        << JoinExecutorName(executor);
+  }
+}
+
+TEST(JoinRequestTest, RejectsMalformedRequests) {
+  Disk disk;
+  auto r = MakeRelation(&disk, TestSchema(), {T(1, "a", 0, 5)}, "r");
+  auto s = MakeRelation(&disk, SSchema(), {S(1, "b", 0, 5)}, "s");
+  TEMPO_ASSERT_OK_AND_ASSIGN(NaturalJoinLayout layout,
+                             DeriveNaturalJoinLayout(TestSchema(), SSchema()));
+  StoredRelation out(&disk, layout.output, "out");
+
+  JoinRequest no_inputs;
+  EXPECT_EQ(RunJoin(no_inputs, &out).status().code(),
+            StatusCode::kInvalidArgument);
+
+  JoinRequest wrong_attrs;
+  wrong_attrs.From(r.get(), s.get()).On({"key", "missing"});
+  auto st = RunJoin(wrong_attrs, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.status().message().find("missing"), std::string::npos);
+
+  JoinRequest self_output;
+  self_output.From(r.get(), s.get());
+  EXPECT_EQ(RunJoin(self_output, r.get()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// QueryService
+// ---------------------------------------------------------------------
+
+struct ServiceFixture {
+  Disk disk;
+  std::unique_ptr<StoredRelation> r;
+  std::unique_ptr<StoredRelation> s;
+  std::vector<Tuple> expected;
+
+  ServiceFixture() {
+    Random rng(23);
+    std::vector<Tuple> r_tuples = RandomTuples(rng, 400, 30, 600, 0.25);
+    std::vector<Tuple> s_tuples;
+    for (const Tuple& t : RandomTuples(rng, 350, 30, 600, 0.25)) {
+      s_tuples.push_back(S(t.value(0).AsInt64(), t.value(1).AsString(),
+                           t.interval().start(), t.interval().end()));
+    }
+    r = MakeRelation(&disk, TestSchema(), r_tuples, "r");
+    s = MakeRelation(&disk, SSchema(), s_tuples, "s");
+    auto expected_or =
+        ReferenceValidTimeJoin(TestSchema(), r_tuples, SSchema(), s_tuples);
+    if (expected_or.ok()) expected = *std::move(expected_or);
+  }
+};
+
+TEST(QueryServiceTest, SubmitFailsFastWhenReservationExceedsPool) {
+  ServiceFixture f;
+  QueryServiceOptions options;
+  options.pool_pages = 8;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto service,
+                             QueryService::Create(&f.disk, options));
+  Session session = service->OpenSession();
+  JoinRequest request;
+  request.From(f.r.get(), f.s.get()).BufferPages(16);
+  auto handle = session.Submit(request);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kResourceExhausted)
+      << handle.status().ToString();
+  // The pool is not wedged: a feasible query still runs.
+  JoinRequest ok_request;
+  ok_request.From(f.r.get(), f.s.get()).BufferPages(8);
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto ok_handle, session.Submit(ok_request));
+  TEMPO_ASSERT_OK(ok_handle->Wait());
+  EXPECT_EQ(ok_handle->stats().output_tuples, f.expected.size());
+}
+
+TEST(QueryServiceTest, CancellingQueuedQueryReleasesItsSlot) {
+  ServiceFixture f;
+  QueryServiceOptions options;
+  options.pool_pages = 8;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto service,
+                             QueryService::Create(&f.disk, options));
+  Session session = service->OpenSession();
+
+  // Occupy the whole pool so every submitted query is deterministically
+  // stuck in the admission queue.
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto blocker, service->pool()->Request(8));
+  ASSERT_TRUE(blocker->granted());
+
+  JoinRequest request;
+  request.From(f.r.get(), f.s.get()).BufferPages(8);
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto victim, session.Submit(request));
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto survivor, session.Submit(request));
+  EXPECT_EQ(service->pool()->queue_depth(), 2u);
+
+  victim->Cancel();
+  EXPECT_EQ(victim->Wait().code(), StatusCode::kCancelled);
+  EXPECT_EQ(service->pool()->queue_depth(), 1u);
+
+  // The cancelled query's slot is gone from the queue; releasing the
+  // blocker admits the survivor, which completes normally.
+  blocker->Release();
+  TEMPO_ASSERT_OK(survivor->Wait());
+  EXPECT_EQ(survivor->stats().output_tuples, f.expected.size());
+
+  MetricsRegistry metrics = service->SnapshotMetrics();
+  EXPECT_EQ(metrics.Get(Metric::kQueriesCancelled), 1.0);
+  EXPECT_EQ(metrics.Get(Metric::kQueriesCompleted), 1.0);
+}
+
+TEST(QueryServiceTest, EightQueuedQueriesAllCompleteFifo) {
+  ServiceFixture f;
+  QueryServiceOptions options;
+  options.pool_pages = 8;  // exactly one query's reservation
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto service,
+                             QueryService::Create(&f.disk, options));
+  TEMPO_ASSERT_OK(service->Register(f.r.get()));
+  TEMPO_ASSERT_OK(service->Register(f.s.get()));
+  Session session = service->OpenSession();
+  TEMPO_ASSERT_OK_AND_ASSIGN(StoredRelation * r, session.Relation("r"));
+  TEMPO_ASSERT_OK_AND_ASSIGN(StoredRelation * s, session.Relation("s"));
+
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto blocker, service->pool()->Request(8));
+  std::vector<std::unique_ptr<QueryHandle>> handles;
+  for (int i = 0; i < 8; ++i) {
+    JoinRequest request;
+    request.From(r, s).BufferPages(8).Using(
+        i % 2 == 0 ? JoinExecutor::kPartition : JoinExecutor::kSortMerge);
+    TEMPO_ASSERT_OK_AND_ASSIGN(auto h, session.Submit(request));
+    handles.push_back(std::move(h));
+  }
+  EXPECT_EQ(service->pool()->queue_depth(), 8u);
+  blocker->Release();
+
+  for (size_t i = 0; i < handles.size(); ++i) {
+    TEMPO_ASSERT_OK(handles[i]->Wait());
+    EXPECT_EQ(handles[i]->stats().output_tuples, f.expected.size())
+        << "query " << i;
+  }
+  MetricsRegistry metrics = service->SnapshotMetrics();
+  EXPECT_EQ(metrics.Get(Metric::kQueriesCompleted), 8.0);
+  EXPECT_EQ(metrics.Get(Metric::kAdmissionQueuePeak), 8.0);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: concurrent service runs must be byte-identical to a
+// standalone run — same output pages, same charged IoStats — at every
+// scheduler thread count. This is the test the TSan job hammers.
+// ---------------------------------------------------------------------
+
+struct RunImage {
+  std::vector<Page> pages;
+  IoStats io;
+  uint64_t output_tuples = 0;
+};
+
+RunImage ImageOf(QueryHandle* handle) {
+  RunImage image;
+  image.io = handle->stats().io;
+  image.output_tuples = handle->stats().output_tuples;
+  StoredRelation* out = handle->output();
+  image.pages.resize(out->num_pages());
+  for (uint32_t p = 0; p < out->num_pages(); ++p) {
+    auto st = out->ReadPage(p, &image.pages[p]);
+    if (!st.ok()) ADD_FAILURE() << st.ToString();
+  }
+  return image;
+}
+
+void ExpectSameImage(const RunImage& a, const RunImage& b, const char* what) {
+  EXPECT_EQ(a.output_tuples, b.output_tuples) << what;
+  EXPECT_TRUE(a.io == b.io) << what << ": " << a.io.ToString() << " vs "
+                            << b.io.ToString();
+  ASSERT_EQ(a.pages.size(), b.pages.size()) << what;
+  for (size_t p = 0; p < a.pages.size(); ++p) {
+    EXPECT_EQ(std::memcmp(&a.pages[p], &b.pages[p], sizeof(Page)), 0)
+        << what << ": output page " << p << " differs";
+  }
+}
+
+TEST(QueryServiceTest, ConcurrentRunsByteIdenticalToSerialAtAnyThreadCount) {
+  ServiceFixture f;
+  const JoinExecutor executors[] = {JoinExecutor::kPartition,
+                                    JoinExecutor::kSortMerge,
+                                    JoinExecutor::kNestedLoop};
+
+  // Reference images: one query at a time, serial scheduler.
+  std::vector<RunImage> reference;
+  {
+    QueryServiceOptions options;
+    options.pool_pages = 64;
+    options.scheduler.num_threads = 1;
+    TEMPO_ASSERT_OK_AND_ASSIGN(auto service,
+                               QueryService::Create(&f.disk, options));
+    Session session = service->OpenSession();
+    for (JoinExecutor executor : executors) {
+      JoinRequest request;
+      request.From(f.r.get(), f.s.get()).Using(executor).BufferPages(8);
+      TEMPO_ASSERT_OK_AND_ASSIGN(auto handle, session.Submit(request));
+      TEMPO_ASSERT_OK(handle->Wait());
+      reference.push_back(ImageOf(handle.get()));
+      EXPECT_EQ(reference.back().output_tuples, f.expected.size());
+    }
+  }
+
+  // Concurrent runs: all three executors in flight at once (the pool
+  // admits them all), on shared worker pools of 2/4/8 threads.
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    QueryServiceOptions options;
+    options.pool_pages = 64;
+    options.scheduler.num_threads = threads;
+    TEMPO_ASSERT_OK_AND_ASSIGN(auto service,
+                               QueryService::Create(&f.disk, options));
+    Session session = service->OpenSession();
+    std::vector<std::unique_ptr<QueryHandle>> handles;
+    for (JoinExecutor executor : executors) {
+      JoinRequest request;
+      request.From(f.r.get(), f.s.get()).Using(executor).BufferPages(8);
+      TEMPO_ASSERT_OK_AND_ASSIGN(auto handle, session.Submit(request));
+      handles.push_back(std::move(handle));
+    }
+    for (size_t i = 0; i < handles.size(); ++i) {
+      TEMPO_ASSERT_OK(handles[i]->Wait());
+      RunImage image = ImageOf(handles[i].get());
+      ExpectSameImage(reference[i], image,
+                      (std::string(JoinExecutorName(executors[i])) +
+                       " @threads=" + std::to_string(threads))
+                          .c_str());
+    }
+  }
+}
+
+TEST(QueryServiceTest, RegisterRejectsDuplicatesAndLookupMisses) {
+  ServiceFixture f;
+  QueryServiceOptions options;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto service,
+                             QueryService::Create(&f.disk, options));
+  TEMPO_ASSERT_OK(service->Register(f.r.get()));
+  EXPECT_EQ(service->Register(f.r.get()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service->Lookup("nope").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tempo
