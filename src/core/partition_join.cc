@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/tuple_cache.h"
+#include "temporal/interval_set.h"
 
 namespace tempo {
 
@@ -16,37 +17,95 @@ namespace {
 constexpr size_t kSlotOverhead = 4;
 constexpr size_t kPagePayload = kPageSize - 4;
 
+/// Emits the uncovered subintervals of a retiring outer-area tuple:
+/// SubtractAll of the accumulated coverage from the tuple's validity,
+/// one output row per uncovered subinterval. Anti rows carry x itself
+/// (r's own schema); outer rows are NULL-padded into the join schema.
+Status EmitUncovered(JoinVariant* v, const Tuple& x,
+                     const std::vector<Interval>& covered) {
+  const IntervalSet uncovered = SubtractAll(x.interval(), covered);
+  if (uncovered.empty()) return Status::OK();
+  ++v->unmatched_tuples;
+  for (const Interval& iv : uncovered.intervals()) {
+    ++v->uncovered_subintervals;
+    Tuple t = v->kind == JoinKind::kAnti
+                  ? MakeAntiTuple(x, iv)
+                  : MakeUnmatchedTuple(*v->emit_layout, v->preserved_is_r, x,
+                                       iv);
+    TEMPO_RETURN_IF_ERROR(v->writer->EmitAssembled(t));
+  }
+  return Status::OK();
+}
+
 /// The outer partition area: decoded tuples plus byte accounting, with a
 /// probe index over the current contents. The index tracks a dirty flag so
 /// a partition that neither purged nor added tuples (an empty r_i under
 /// migration) skips the full rebuild.
+///
+/// Under a sequenced outer/anti variant the area additionally carries, per
+/// tuple, the intervals its key-matching partners covered; a tuple leaving
+/// the area (purge, or RetireAll at the end of the run) passes through
+/// EmitUncovered before being dropped.
 class OuterArea {
  public:
   explicit OuterArea(const std::vector<size_t>* key_attrs)
       : index_(&tuples_, key_attrs) {}
 
-  void Clear() {
+  /// Turns on per-tuple coverage tracking and unmatched emission.
+  void TrackCoverage(JoinVariant* variant) { variant_ = variant; }
+
+  Status Clear() {
+    if (variant_ != nullptr) TEMPO_RETURN_IF_ERROR(RetireAll());
     if (!tuples_.empty()) dirty_ = true;
     tuples_.clear();
+    coverage_.clear();
     bytes_ = 0;
+    return Status::OK();
   }
 
-  void PurgeNotOverlapping(const Interval& p) {
+  Status PurgeNotOverlapping(const Interval& p) {
     size_t kept = 0;
     for (size_t i = 0; i < tuples_.size(); ++i) {
       if (tuples_[i].interval().Overlaps(p)) {
-        if (kept != i) tuples_[kept] = std::move(tuples_[i]);
+        if (kept != i) {
+          tuples_[kept] = std::move(tuples_[i]);
+          if (variant_ != nullptr) coverage_[kept] = std::move(coverage_[i]);
+        }
         ++kept;
+      } else if (variant_ != nullptr) {
+        TEMPO_RETURN_IF_ERROR(
+            EmitUncovered(variant_, tuples_[i], coverage_[i]));
       }
     }
     if (kept != tuples_.size()) dirty_ = true;
     tuples_.resize(kept);
+    if (variant_ != nullptr) coverage_.resize(kept);
+    return Status::OK();
+  }
+
+  /// Retires every remaining tuple (end of the partition loop / fast
+  /// path): emits each one's uncovered subintervals.
+  Status RetireAll() {
+    if (variant_ == nullptr) return Status::OK();
+    for (size_t i = 0; i < tuples_.size(); ++i) {
+      TEMPO_RETURN_IF_ERROR(EmitUncovered(variant_, tuples_[i], coverage_[i]));
+    }
+    coverage_.assign(tuples_.size(), {});
+    return Status::OK();
   }
 
   void Add(Tuple t, const Schema& schema) {
     bytes_ += t.SerializedSize(schema) + kSlotOverhead;
     tuples_.push_back(std::move(t));
+    if (variant_ != nullptr) coverage_.emplace_back();
     dirty_ = true;
+  }
+
+  /// Folds one key-matching overlap into tuple `i`'s coverage. Called only
+  /// by the coordinating thread (serial probes inline; parallel probes
+  /// buffer per batch and fold at wave flush).
+  void AddCoverage(size_t i, const Interval& overlap) {
+    coverage_[i].push_back(overlap);
   }
 
   void RecomputeBytes(const Schema& schema) {
@@ -74,6 +133,10 @@ class OuterArea {
   // The index is built over an empty area at construction, so it starts
   // clean.
   bool dirty_ = false;
+  // Non-null while a sequenced outer/anti variant is running; coverage_
+  // then parallels tuples_ (the raw overlap intervals seen so far).
+  JoinVariant* variant_ = nullptr;
+  std::vector<std::vector<Interval>> coverage_;
 };
 
 /// Shared parameters of one probe pass (one chunk of one partition).
@@ -89,28 +152,38 @@ struct ProbeContext {
   const Interval* retain_interval = nullptr;
   ResultWriter* writer = nullptr;
   TupleCache* retain_cache = nullptr;
+  /// Sequenced outer/anti variant of this run (null = inner join). When
+  /// set, every dedup-accepted overlap is folded into `coverage_area`'s
+  /// per-tuple coverage at index `coverage_base + build_index`, and match
+  /// emission is gated on variant->emit_matches.
+  JoinVariant* variant = nullptr;
+  OuterArea* coverage_area = nullptr;
+  size_t coverage_base = 0;  ///< chunk offset into the outer area
 };
 
-/// Invokes `fn(x, overlap)` for every pair the probe record view `y` must
-/// emit, in index iteration order (deterministic for a fixed index build —
-/// the view hashes bit-compatibly with the tuple it would decode into, so
-/// the bucket walk matches the owning-tuple probe exactly).
+/// Invokes `fn(x, build_index, overlap)` for every pair the probe record
+/// view `y` must emit, in index iteration order (deterministic for a fixed
+/// index build — the view hashes bit-compatibly with the tuple it would
+/// decode into, so the bucket walk matches the owning-tuple probe
+/// exactly). `build_index` is x's position in the indexed tuple vector;
+/// the outer/anti variants use it to attribute coverage.
 template <typename Fn>
 void ForEachEmission(const ProbeContext& ctx, const HashedTupleIndex& index,
                      const TupleView& y, Fn&& fn) {
   const Interval y_iv = y.interval();
-  index.ForEachMatch(y, ctx.layout->s_join_attrs, [&](const Tuple& x) {
-    auto common = Overlap(x.interval(), y_iv);
-    if (!common) return;
-    if (ctx.dedup_interval != nullptr &&
-        !ctx.dedup_interval->Contains(common->end())) {
-      return;
-    }
-    if (!EvalIntervalPredicate(ctx.predicate, x.interval(), y_iv)) {
-      return;
-    }
-    fn(x, *common);
-  });
+  index.ForEachMatchIndexed(
+      y, ctx.layout->s_join_attrs, [&](const Tuple& x, size_t idx) {
+        auto common = Overlap(x.interval(), y_iv);
+        if (!common) return;
+        if (ctx.dedup_interval != nullptr &&
+            !ctx.dedup_interval->Contains(common->end())) {
+          return;
+        }
+        if (!EvalIntervalPredicate(ctx.predicate, x.interval(), y_iv)) {
+          return;
+        }
+        fn(x, idx, *common);
+      });
 }
 
 /// Streams probe-side input — raw inner pages and tuple-cache views —
@@ -206,6 +279,10 @@ class ProbeStream {
     // Raw record bytes for the next cache generation (views into the
     // worker's arena die with the wave, so the bytes are copied out).
     std::vector<std::string> retained;
+    // Variant runs: (build index, overlap) per dedup-accepted pair. The
+    // coordinator folds these into the outer area's coverage at wave
+    // flush — workers never touch shared coverage state.
+    std::vector<std::pair<size_t, Interval>> covered;
   };
 
   bool WantsRetention(const TupleView& y, bool allow_retain) const {
@@ -214,11 +291,20 @@ class ProbeStream {
            y.interval().Overlaps(*ctx_.retain_interval);
   }
 
+  bool EmitsMatches() const {
+    return ctx_.variant == nullptr || ctx_.variant->emit_matches;
+  }
+
   Status ProbeOneSerial(const TupleView& y, bool allow_retain) {
     Status status = Status::OK();
     ForEachEmission(ctx_, *index_, y,
-                    [&](const Tuple& x, const Interval& common) {
+                    [&](const Tuple& x, size_t idx, const Interval& common) {
                       if (!status.ok()) return;
+                      if (ctx_.coverage_area != nullptr) {
+                        ctx_.coverage_area->AddCoverage(
+                            ctx_.coverage_base + idx, common);
+                      }
+                      if (!EmitsMatches()) return;
                       status = ctx_.writer->Emit(*ctx_.layout, x, y, common);
                     });
     TEMPO_RETURN_IF_ERROR(status);
@@ -249,7 +335,11 @@ class ProbeStream {
     }
     for (const TupleView& y : *src) {
       ForEachEmission(ctx_, *index_, y,
-                      [&](const Tuple& x, const Interval& common) {
+                      [&](const Tuple& x, size_t idx, const Interval& common) {
+                        if (ctx_.coverage_area != nullptr) {
+                          out->covered.emplace_back(idx, common);
+                        }
+                        if (!EmitsMatches()) return;
                         out->results.push_back(
                             MakeJoinTuple(*ctx_.layout, x, y, common));
                       });
@@ -273,6 +363,9 @@ class ProbeStream {
         stats_);
     TEMPO_RETURN_IF_ERROR(st);
     for (BatchResult& r : results) {
+      for (const auto& [idx, overlap] : r.covered) {
+        ctx_.coverage_area->AddCoverage(ctx_.coverage_base + idx, overlap);
+      }
       for (const Tuple& t : r.results) {
         TEMPO_RETURN_IF_ERROR(ctx_.writer->EmitAssembled(t));
       }
@@ -307,7 +400,8 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
                                       IntervalJoinPredicate predicate,
                                       uint32_t cache_memory_pages,
                                       ExecContext* ctx,
-                                      MorselStats* morsel_stats) {
+                                      MorselStats* morsel_stats,
+                                      JoinVariant* variant) {
   const size_t n = spec.num_partitions();
   if (pr->parts.size() != n || ps->parts.size() != n) {
     return Status::InvalidArgument(
@@ -339,8 +433,12 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
       kPagePayload;
   const bool migrate = placement == PlacementPolicy::kLastOverlap;
 
-  ResultWriter writer(out);
+  // Variant passes share the caller's canonical writer (the full outer
+  // feeds two passes into one writer); the caller finishes it.
+  ResultWriter local_writer(out);
+  ResultWriter* writer = variant != nullptr ? variant->writer : &local_writer;
   OuterArea outer(&layout.r_join_attrs);
+  if (variant != nullptr) outer.TrackCoverage(variant);
   TupleCache cache(disk, s_schema, out->name() + ".gen",
                    cache_memory_pages);  // consumed generation
   uint64_t cache_pages_spilled = 0;
@@ -362,10 +460,12 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
     // 1. Purge retained outer tuples that do not overlap p_i, then read
     //    the physical partition r_i into the area.
     if (migrate) {
-      outer.PurgeNotOverlapping(p_i);
+      TEMPO_RETURN_IF_ERROR(outer.PurgeNotOverlapping(p_i));
       outer.RecomputeBytes(r_schema);
     } else {
-      outer.Clear();  // replicated partitions are self-contained
+      // Replicated partitions are self-contained (variants require
+      // last-overlap placement, so no coverage retires here).
+      TEMPO_RETURN_IF_ERROR(outer.Clear());
     }
     {
       StoredRelation* part = pr->parts[ii].get();
@@ -414,15 +514,20 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
         outer.RebuildIndex();  // no-op when the area is unchanged
       }
 
-      ProbeContext ctx;
-      ctx.layout = &layout;
-      ctx.inner_schema = &s_schema;
-      ctx.predicate = predicate;
-      ctx.dedup_interval = &p_i;
-      ctx.retain_interval = p_prev;
-      ctx.writer = &writer;
-      ctx.retain_cache = &next_gen;
-      ProbeStream stream(ctx, index, pool, parallel, &probe_stats);
+      ProbeContext probe_ctx;
+      probe_ctx.layout = &layout;
+      probe_ctx.inner_schema = &s_schema;
+      probe_ctx.predicate = predicate;
+      probe_ctx.dedup_interval = &p_i;
+      probe_ctx.retain_interval = p_prev;
+      probe_ctx.writer = writer;
+      probe_ctx.retain_cache = &next_gen;
+      if (variant != nullptr) {
+        probe_ctx.variant = variant;
+        probe_ctx.coverage_area = &outer;
+        probe_ctx.coverage_base = chunk_start;
+      }
+      ProbeStream stream(probe_ctx, index, pool, parallel, &probe_stats);
 
       // 2. Join with the in-memory cache page of the consumed generation,
       //    probing its records in place.
@@ -461,11 +566,14 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
     cache = std::move(next_gen);
   }
   TEMPO_RETURN_IF_ERROR(cache.Discard());
-  TEMPO_RETURN_IF_ERROR(writer.Finish());
+  // Tuples still in the area saw every partition they overlap; retire
+  // them (unmatched emission) before the caller finishes the writer.
+  TEMPO_RETURN_IF_ERROR(outer.RetireAll());
+  if (variant == nullptr) TEMPO_RETURN_IF_ERROR(writer->Finish());
 
   JoinRunStats stats;
   stats.io = acct.stats() - before;
-  stats.output_tuples = writer.count();
+  stats.output_tuples = writer->count();
   stats.Set(Metric::kCachePagesSpilled,
             static_cast<double>(cache_pages_spilled));
   stats.Set(Metric::kCacheTuples, static_cast<double>(cache_tuples));
@@ -485,11 +593,18 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
   return stats;
 }
 
-StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
-                                       StoredRelation* out,
-                                       const PartitionJoinOptions& options,
-                                       ExecContext* ctx) {
-  TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout, PrepareJoin(r, s, out));
+namespace {
+
+/// One full partition-executor pass — plan, (maybe) Grace partition, join —
+/// over (r, s) with r as the build/outer side. `layout` is the natural-join
+/// layout of (r, s) *as passed*: the swapped full-outer pass hands in the
+/// (s, r) layout. Output-schema validation is the caller's job.
+StatusOr<JoinRunStats> RunPartitionPass(StoredRelation* r, StoredRelation* s,
+                                        StoredRelation* out,
+                                        const NaturalJoinLayout& layout,
+                                        const PartitionJoinOptions& options,
+                                        ExecContext* ctx,
+                                        JoinVariant* variant) {
   if (options.buffer_pages < 4) {
     return Status::InvalidArgument(
         "partition join needs at least 4 buffer pages");
@@ -537,6 +652,7 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
     // read r into memory and stream s past it.
     TraceSpan fast_span = SpanIf(ctx, Phase::kJoinPartitions);
     OuterArea outer(&layout.r_join_attrs);
+    if (variant != nullptr) outer.TrackCoverage(variant);
     const uint32_t pages = r->num_pages();
     std::vector<Tuple> decoded;
     for (uint32_t p = 0; p < pages; ++p) {
@@ -549,14 +665,21 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
       for (Tuple& t : decoded) outer.Add(std::move(t), r->schema());
     }
     outer.RebuildIndex();
-    ResultWriter writer(out);
+    ResultWriter local_writer(out);
+    ResultWriter* writer =
+        variant != nullptr ? variant->writer : &local_writer;
 
-    ProbeContext ctx;
-    ctx.layout = &layout;
-    ctx.inner_schema = &s->schema();
-    ctx.predicate = options.predicate;
-    ctx.writer = &writer;
-    ProbeStream stream(ctx, &outer.index(), pool, parallel, &total_morsels);
+    ProbeContext probe_ctx;
+    probe_ctx.layout = &layout;
+    probe_ctx.inner_schema = &s->schema();
+    probe_ctx.predicate = options.predicate;
+    probe_ctx.writer = writer;
+    if (variant != nullptr) {
+      probe_ctx.variant = variant;
+      probe_ctx.coverage_area = &outer;
+    }
+    ProbeStream stream(probe_ctx, &outer.index(), pool, parallel,
+                       &total_morsels);
     const uint32_t s_pages = s->num_pages();
     for (uint32_t p = 0; p < s_pages; ++p) {
       Page page;
@@ -564,9 +687,10 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
       TEMPO_RETURN_IF_ERROR(stream.AddPage(page, /*allow_retain=*/false));
     }
     TEMPO_RETURN_IF_ERROR(stream.Finish());
-    TEMPO_RETURN_IF_ERROR(writer.Finish());
+    TEMPO_RETURN_IF_ERROR(outer.RetireAll());
+    if (variant == nullptr) TEMPO_RETURN_IF_ERROR(writer->Finish());
     fast_span.AddMorsels(total_morsels);
-    stats.output_tuples = writer.count();
+    stats.output_tuples = writer->count();
     stats.Set(Metric::kDecodeMaterializationsAvoided,
               static_cast<double>(stream.views_probed()));
   } else {
@@ -630,7 +754,7 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
         JoinPartitions(layout, plan.spec, &pr, &ps, out, options.buffer_pages,
                        options.placement, options.predicate,
                        options.tuple_cache_memory_pages, ctx,
-                       &total_morsels));
+                       &total_morsels, variant));
     stats.output_tuples = join_stats.output_tuples;
     stats.metrics.Merge(join_stats.metrics);
     stats.Add(Metric::kDecodeMaterializationsAvoided,
@@ -653,6 +777,90 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
               static_cast<double>(total_morsels.morsels_dispatched));
     stats.Set(Metric::kParallelEfficiency,
               total_morsels.Efficiency(parallel.num_threads));
+  }
+  ExportMetrics(stats, ctx);
+  return stats;
+}
+
+}  // namespace
+
+StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
+                                       StoredRelation* out,
+                                       const PartitionJoinOptions& options,
+                                       ExecContext* ctx) {
+  if (options.join_kind == JoinKind::kInner) {
+    TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout, PrepareJoin(r, s, out));
+    return RunPartitionPass(r, s, out, layout, options, ctx, nullptr);
+  }
+
+  // Sequenced outer/anti variant. The uncovered-subinterval arithmetic
+  // assumes every key-matching overlap is observed exactly once, which the
+  // dedup rule guarantees only under last-overlap placement and the plain
+  // overlap predicate.
+  if (options.predicate != IntervalJoinPredicate::kOverlap) {
+    return Status::InvalidArgument(
+        "outer/anti join variants require the overlap predicate");
+  }
+  if (options.placement != PlacementPolicy::kLastOverlap) {
+    return Status::InvalidArgument(
+        "outer/anti join variants require last-overlap placement");
+  }
+  TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout,
+                         PrepareJoinForKind(r, s, out, options.join_kind));
+  Disk* disk = r->disk();
+  IoAccountant& acct = disk->accountant();
+  if (ctx != nullptr && ctx->accountant() == nullptr) {
+    ctx->BindAccountant(&acct);
+  }
+  IoStats before = acct.stats();
+
+  // One canonical writer across all passes: emission is buffered and
+  // sorted at Finish, so output bytes are a pure function of the result
+  // multiset — identical for any thread count and for the oracle.
+  ResultWriter writer = ResultWriter::Canonical(out);
+  JoinVariant pass1;
+  pass1.kind = options.join_kind;
+  pass1.emit_matches = options.join_kind != JoinKind::kAnti;
+  pass1.preserved_is_r = true;
+  pass1.emit_layout = &layout;
+  pass1.writer = &writer;
+  TEMPO_ASSIGN_OR_RETURN(
+      JoinRunStats stats,
+      RunPartitionPass(r, s, out, layout, options, ctx, &pass1));
+  uint64_t unmatched = pass1.unmatched_tuples;
+  uint64_t uncovered = pass1.uncovered_subintervals;
+
+  if (options.join_kind == JoinKind::kFullOuter) {
+    // Second pass, swapped: s becomes the outer side in coverage-only mode
+    // (all matches were emitted by pass 1), contributing s's unmatched
+    // rows — assembled under the ORIGINAL layout — to the shared writer.
+    TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout swapped,
+                           DeriveNaturalJoinLayout(s->schema(), r->schema()));
+    TraceSpan outer_span = SpanIf(ctx, Phase::kOuterPass);
+    JoinVariant pass2;
+    pass2.kind = options.join_kind;
+    pass2.emit_matches = false;
+    pass2.preserved_is_r = false;
+    pass2.emit_layout = &layout;
+    pass2.writer = &writer;
+    TEMPO_ASSIGN_OR_RETURN(
+        JoinRunStats pass2_stats,
+        RunPartitionPass(s, r, out, swapped, options, ctx, &pass2));
+    stats.metrics.Merge(pass2_stats.metrics);
+    unmatched += pass2.unmatched_tuples;
+    uncovered += pass2.uncovered_subintervals;
+  }
+
+  TEMPO_RETURN_IF_ERROR(writer.Finish());
+  stats.io = acct.stats() - before;
+  stats.output_tuples = writer.count();
+  stats.Set(Metric::kSequencedJoinKind,
+            static_cast<double>(static_cast<uint8_t>(options.join_kind)));
+  stats.Set(Metric::kOuterUnmatchedTuples, static_cast<double>(unmatched));
+  stats.Set(Metric::kUncoveredSubintervalsEmitted,
+            static_cast<double>(uncovered));
+  if (options.join_kind == JoinKind::kAnti) {
+    stats.Set(Metric::kAntiEmittedIntervals, static_cast<double>(uncovered));
   }
   ExportMetrics(stats, ctx);
   return stats;

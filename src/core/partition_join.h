@@ -36,6 +36,37 @@ struct PartitionJoinOptions : ExecOptions {
   uint32_t tuple_cache_memory_pages = 1;
 };
 
+/// Mutable state of one sequenced outer/anti pass, shared between
+/// PartitionVtJoin and JoinPartitions (null = plain inner join). The pass
+/// accumulates, per outer-area tuple, the union of its overlap intervals
+/// with key-matching partners (an IntervalSet); when a tuple retires from
+/// the area its uncovered subintervals are emitted through `writer`. The
+/// dedup rule already guarantees each (x, y) overlap is observed in
+/// exactly one partition, and IntervalSet union is order-independent, so
+/// coverage — and hence the emitted unmatched rows — is deterministic at
+/// any thread count.
+struct JoinVariant {
+  JoinKind kind = JoinKind::kInner;
+  /// When false, matched pairs feed coverage only and are not emitted
+  /// (the anti join, and the swapped second pass of the full outer).
+  bool emit_matches = true;
+  /// Orientation of unmatched emission: true when the build side of this
+  /// pass is the original r.
+  bool preserved_is_r = true;
+  /// Layout of the ORIGINAL (r, s) pair, used to assemble NULL-padded
+  /// unmatched rows. The swapped full-outer pass runs the probe machinery
+  /// under the (s, r) layout but emits unmatched rows under this one.
+  const NaturalJoinLayout* emit_layout = nullptr;
+  /// Canonical writer shared by match and unmatched emission (and, for
+  /// the full outer, by both passes). The caller finishes it.
+  ResultWriter* writer = nullptr;
+
+  /// Preserved-side tuples that retired with a non-empty uncovered set.
+  uint64_t unmatched_tuples = 0;
+  /// Total uncovered subinterval rows emitted.
+  uint64_t uncovered_subintervals = 0;
+};
+
 /// Joins two already-partitioned relations (algorithm joinPartitions,
 /// Appendix A.1), processing partitions from p_n down to p_1:
 ///
@@ -82,7 +113,8 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
                                           IntervalJoinPredicate::kOverlap,
                                       uint32_t cache_memory_pages = 1,
                                       ExecContext* ctx = nullptr,
-                                      MorselStats* morsel_stats = nullptr);
+                                      MorselStats* morsel_stats = nullptr,
+                                      JoinVariant* variant = nullptr);
 
 /// The paper's contribution, end to end (Figure 2):
 ///

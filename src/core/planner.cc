@@ -148,6 +148,23 @@ StatusOr<JoinRunStats> ExecuteVtJoin(StoredRelation* r, StoredRelation* s,
   if (ctx != nullptr && ctx->accountant() == nullptr) {
     ctx->BindAccountant(&r->disk()->accountant());
   }
+  if (options.join_kind != JoinKind::kInner) {
+    // The sequenced outer/anti variants are implemented only by the
+    // partition executor (coverage tracking rides on its dedup rule), so
+    // the plan is forced rather than costed.
+    SetMetric(ctx, Metric::kPlannedAlgorithm,
+              static_cast<double>(static_cast<int>(JoinAlgorithm::kPartition)));
+    PartitionJoinOptions pj;
+    static_cast<ExecOptions&>(pj) = options;
+    StatusOr<JoinRunStats> stats = PartitionVtJoin(r, s, out, pj, ctx);
+    if (stats.ok()) {
+      stats->Set(Metric::kPlannedAlgorithm,
+                 static_cast<double>(static_cast<int>(
+                     JoinAlgorithm::kPartition)));
+      ExportMetrics(*stats, ctx);
+    }
+    return stats;
+  }
   JoinPlan plan;
   {
     TraceSpan plan_span = SpanIf(ctx, Phase::kPlan);

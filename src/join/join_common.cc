@@ -1,5 +1,7 @@
 #include "join/join_common.h"
 
+#include <algorithm>
+
 namespace tempo {
 
 Tuple MakeJoinTuple(const NaturalJoinLayout& layout, const Tuple& x,
@@ -32,6 +34,41 @@ Tuple MakeJoinTuple(const NaturalJoinLayout& layout, const TupleView& x,
   return Tuple(std::move(values), overlap);
 }
 
+Tuple MakeUnmatchedTuple(const NaturalJoinLayout& layout, bool preserved_is_r,
+                         const Tuple& x, const Interval& uncovered) {
+  std::vector<Value> values;
+  values.reserve(layout.output.num_attributes());
+  if (preserved_is_r) {
+    for (size_t pos : layout.r_join_attrs) values.push_back(x.value(pos));
+    for (size_t pos : layout.r_rest) values.push_back(x.value(pos));
+    for (size_t i = 0; i < layout.s_rest.size(); ++i) {
+      values.push_back(Value::Null());  // C attributes: NULL
+    }
+  } else {
+    for (size_t pos : layout.s_join_attrs) values.push_back(x.value(pos));
+    for (size_t i = 0; i < layout.r_rest.size(); ++i) {
+      values.push_back(Value::Null());  // B attributes: NULL
+    }
+    for (size_t pos : layout.s_rest) values.push_back(x.value(pos));
+  }
+  return Tuple(std::move(values), uncovered);
+}
+
+Tuple MakeAntiTuple(const Tuple& x, const Interval& uncovered) {
+  return Tuple(x.values(), uncovered);
+}
+
+Status ResultWriter::Finish() {
+  if (canonical_) {
+    std::sort(buffered_.begin(), buffered_.end());
+    for (const std::string& record : buffered_) {
+      TEMPO_RETURN_IF_ERROR(out_->AppendRecord(record));
+    }
+    buffered_.clear();
+  }
+  return out_->Flush();
+}
+
 HashedTupleIndex::HashedTupleIndex(const std::vector<Tuple>* tuples,
                                    const std::vector<size_t>* key_attrs)
     : tuples_(tuples), key_attrs_(key_attrs) {
@@ -58,6 +95,28 @@ StatusOr<NaturalJoinLayout> PrepareJoin(StoredRelation* r, StoredRelation* s,
     return Status::InvalidArgument(
         "output relation schema " + out->schema().ToString() +
         " does not match derived join schema " + layout.output.ToString());
+  }
+  if (r->HasUnflushedAppends() || s->HasUnflushedAppends()) {
+    return Status::FailedPrecondition(
+        "input relations must be flushed before joining");
+  }
+  return layout;
+}
+
+StatusOr<NaturalJoinLayout> PrepareJoinForKind(StoredRelation* r,
+                                               StoredRelation* s,
+                                               StoredRelation* out,
+                                               JoinKind kind) {
+  if (kind != JoinKind::kAnti) return PrepareJoin(r, s, out);
+  if (r == nullptr || s == nullptr || out == nullptr) {
+    return Status::InvalidArgument("join inputs must be non-null");
+  }
+  TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout,
+                         DeriveNaturalJoinLayout(r->schema(), s->schema()));
+  if (!(out->schema() == r->schema())) {
+    return Status::InvalidArgument(
+        "anti join output schema " + out->schema().ToString() +
+        " must match the preserved side's schema " + r->schema().ToString());
   }
   if (r->HasUnflushedAppends() || s->HasUnflushedAppends()) {
     return Status::FailedPrecondition(

@@ -77,51 +77,86 @@ Tuple MakeJoinTuple(const NaturalJoinLayout& layout, const Tuple& x,
 Tuple MakeJoinTuple(const NaturalJoinLayout& layout, const TupleView& x,
                     const TupleView& y, const Interval& overlap);
 
+/// Assembles a NULL-padded unmatched row of a sequenced *outer* join in
+/// the join output schema (A, B, C): when `preserved_is_r`, A and B come
+/// from the r-side tuple `x` and every C attribute is NULL; otherwise A
+/// and C come from the s-side tuple `x` (read through the pairwise-aligned
+/// s positions) and every B attribute is NULL. `uncovered` must be a
+/// subinterval of x's validity not overlapped by any key-matching partner.
+Tuple MakeUnmatchedTuple(const NaturalJoinLayout& layout, bool preserved_is_r,
+                         const Tuple& x, const Interval& uncovered);
+
+/// The anti join's unmatched row: `x` itself (r's own schema, no padding)
+/// restricted to the uncovered subinterval.
+Tuple MakeAntiTuple(const Tuple& x, const Interval& uncovered);
+
 /// Buffered writer appending join results to an output relation. The
 /// output page is the paper's dedicated result buffer page (Figure 3).
+///
+/// Canonical mode (the sequenced outer/anti variants): emitted tuples are
+/// buffered as serialized records and appended in lexicographic byte order
+/// at Finish(). Serialization is canonical, so two runs producing the same
+/// result *multiset* — the partition variant at any thread count and the
+/// brute-force oracle — write byte-identical output pages, which is what
+/// the parity tests assert. The buffering trades the streaming result page
+/// for exact verifiability; all output I/O is still charged identically
+/// (same bytes, same page count) regardless of emission order.
 class ResultWriter {
  public:
   explicit ResultWriter(StoredRelation* out) : out_(out) {}
 
+  /// A writer that defers appends and sorts the serialized records at
+  /// Finish() — the canonical sequenced result order.
+  static ResultWriter Canonical(StoredRelation* out) {
+    ResultWriter w(out);
+    w.canonical_ = true;
+    return w;
+  }
+
   Status Emit(const NaturalJoinLayout& layout, const Tuple& x, const Tuple& y,
               const Interval& overlap) {
-    Status st = out_->Append(MakeJoinTuple(layout, x, y, overlap));
-    if (st.ok()) ++count_;
-    return st;
+    return EmitAssembled(MakeJoinTuple(layout, x, y, overlap));
   }
 
   Status Emit(const NaturalJoinLayout& layout, const Tuple& x,
               const TupleView& y, const Interval& overlap) {
-    Status st = out_->Append(MakeJoinTuple(layout, x, y, overlap));
-    if (st.ok()) ++count_;
-    return st;
+    return EmitAssembled(MakeJoinTuple(layout, x, y, overlap));
   }
 
   Status Emit(const NaturalJoinLayout& layout, const TupleView& x,
               const TupleView& y, const Interval& overlap) {
-    Status st = out_->Append(MakeJoinTuple(layout, x, y, overlap));
-    if (st.ok()) ++count_;
-    return st;
+    return EmitAssembled(MakeJoinTuple(layout, x, y, overlap));
   }
 
   /// Appends an already-assembled result tuple. The parallel probe builds
   /// result tuples on workers and the coordinator appends the per-morsel
   /// buffers in page order, so output bytes match the serial run.
   Status EmitAssembled(const Tuple& t) {
+    if (canonical_) {
+      std::string record;
+      t.SerializeTo(out_->schema(), &record);
+      buffered_.push_back(std::move(record));
+      ++count_;
+      return Status::OK();
+    }
     Status st = out_->Append(t);
     if (st.ok()) ++count_;
     return st;
   }
 
-  Status Finish() { return out_->Flush(); }
+  /// Streaming mode: flushes the partial output page. Canonical mode:
+  /// sorts the buffered records, appends them all, then flushes.
+  Status Finish();
 
-  /// Number of successfully appended result tuples; a failed Append is
+  /// Number of successfully emitted result tuples; a failed Append is
   /// not counted.
   uint64_t count() const { return count_; }
 
  private:
   StoredRelation* out_;
   uint64_t count_ = 0;
+  bool canonical_ = false;
+  std::vector<std::string> buffered_;
 };
 
 /// An in-memory equi-hash index over tuples, keyed on a subset of attribute
@@ -170,6 +205,23 @@ class HashedTupleIndex {
     }
   }
 
+  /// Like ForEachMatch, but also passes the candidate's index into the
+  /// bound tuple vector, `fn(const Tuple&, size_t)`. The outer/anti join
+  /// variants use the index to accumulate per-build-tuple coverage.
+  template <typename Fn>
+  void ForEachMatchIndexed(const TupleView& probe,
+                           const std::vector<size_t>& probe_attrs,
+                           Fn&& fn) const {
+    size_t h = probe.HashAttrs(probe_attrs);
+    auto [lo, hi] = buckets_.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      const Tuple& candidate = (*tuples_)[it->second];
+      if (probe.EqualOnAttrs(probe_attrs, *key_attrs_, candidate)) {
+        fn(candidate, it->second);
+      }
+    }
+  }
+
  private:
   const std::vector<Tuple>* tuples_;
   const std::vector<size_t>* key_attrs_;
@@ -180,6 +232,14 @@ class HashedTupleIndex {
 /// expected output schema. Shared prologue of every executor.
 StatusOr<NaturalJoinLayout> PrepareJoin(StoredRelation* r, StoredRelation* s,
                                         StoredRelation* out);
+
+/// Kind-aware prologue: for kAnti the output carries r's own schema (the
+/// anti join pads nothing), for every other kind the join output schema.
+/// The returned layout is always the natural-join layout of (r, s).
+StatusOr<NaturalJoinLayout> PrepareJoinForKind(StoredRelation* r,
+                                               StoredRelation* s,
+                                               StoredRelation* out,
+                                               JoinKind kind);
 
 }  // namespace tempo
 

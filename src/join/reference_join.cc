@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "join/join_common.h"
+#include "temporal/interval_set.h"
 
 namespace tempo {
 
@@ -21,6 +22,58 @@ StatusOr<std::vector<Tuple>> ReferenceValidTimeJoin(
       if (!common) continue;
       out.push_back(MakeJoinTuple(layout, x, y, *common));
     }
+  }
+  return out;
+}
+
+namespace {
+
+/// Appends the unmatched rows of the side `outer` (an r-side when
+/// `preserved_is_r`, else an s-side) against partners `inner`: per outer
+/// tuple, subtract every key-matching partner's overlap from its validity
+/// and emit one row per remaining subinterval.
+void AppendUnmatched(const NaturalJoinLayout& layout, bool preserved_is_r,
+                     const std::vector<Tuple>& outer,
+                     const std::vector<Tuple>& inner, JoinKind kind,
+                     std::vector<Tuple>* out) {
+  const std::vector<size_t>& outer_keys =
+      preserved_is_r ? layout.r_join_attrs : layout.s_join_attrs;
+  const std::vector<size_t>& inner_keys =
+      preserved_is_r ? layout.s_join_attrs : layout.r_join_attrs;
+  for (const Tuple& x : outer) {
+    std::vector<Interval> covered;
+    for (const Tuple& y : inner) {
+      if (!x.EqualOnAttrs(outer_keys, inner_keys, y)) continue;
+      auto common = Overlap(x.interval(), y.interval());
+      if (common) covered.push_back(*common);
+    }
+    const IntervalSet uncovered = SubtractAll(x.interval(), covered);
+    for (const Interval& iv : uncovered.intervals()) {
+      out->push_back(kind == JoinKind::kAnti
+                         ? MakeAntiTuple(x, iv)
+                         : MakeUnmatchedTuple(layout, preserved_is_r, x, iv));
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<Tuple>> ReferenceSequencedJoin(
+    const Schema& r_schema, const std::vector<Tuple>& r,
+    const Schema& s_schema, const std::vector<Tuple>& s, JoinKind kind) {
+  if (kind == JoinKind::kInner) {
+    return ReferenceValidTimeJoin(r_schema, r, s_schema, s);
+  }
+  TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout,
+                         DeriveNaturalJoinLayout(r_schema, s_schema));
+  std::vector<Tuple> out;
+  if (kind != JoinKind::kAnti) {
+    TEMPO_ASSIGN_OR_RETURN(
+        out, ReferenceValidTimeJoin(r_schema, r, s_schema, s));
+  }
+  AppendUnmatched(layout, /*preserved_is_r=*/true, r, s, kind, &out);
+  if (kind == JoinKind::kFullOuter) {
+    AppendUnmatched(layout, /*preserved_is_r=*/false, s, r, kind, &out);
   }
   return out;
 }

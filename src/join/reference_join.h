@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "obs/exec_options.h"
 #include "relation/schema.h"
 #include "relation/tuple.h"
 
@@ -19,6 +20,16 @@ namespace tempo {
 StatusOr<std::vector<Tuple>> ReferenceValidTimeJoin(
     const Schema& r_schema, const std::vector<Tuple>& r,
     const Schema& s_schema, const std::vector<Tuple>& s);
+
+/// Brute-force oracle for the sequenced join variants. kInner reduces to
+/// ReferenceValidTimeJoin. The outer kinds additionally emit, per
+/// preserved-side tuple, the subintervals of its validity not overlapped
+/// by any key-matching partner (IntervalSet::SubtractAll), NULL-padding
+/// the other side's private attributes; kAnti emits *only* the unmatched
+/// r subintervals in r's own schema. O(|r|·|s|), entirely in memory.
+StatusOr<std::vector<Tuple>> ReferenceSequencedJoin(
+    const Schema& r_schema, const std::vector<Tuple>& r,
+    const Schema& s_schema, const std::vector<Tuple>& s, JoinKind kind);
 
 /// Multiset equality of tuple vectors, ignoring order. Used by tests and
 /// the executors' self-check mode.

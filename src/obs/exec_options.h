@@ -7,6 +7,45 @@
 
 namespace tempo {
 
+/// The sequenced join variants a request may name. kInner is the paper's
+/// valid-time natural join; the outer and anti variants additionally emit,
+/// for every input tuple of the preserved side(s), the *uncovered
+/// subintervals* of its validity — the portions of its interval not
+/// overlapped by any key-matching partner — computed with the
+/// IntervalSet difference arithmetic (src/temporal/interval_set.h):
+///
+///   kLeftOuter  — matches plus unmatched r subintervals, s-only
+///                 attributes padded with NULLs;
+///   kFullOuter  — matches plus unmatched subintervals of both sides,
+///                 the other side's private attributes padded with NULLs;
+///   kAnti       — *only* the unmatched r subintervals, in r's own schema
+///                 (no padding; the sequenced NOT EXISTS).
+///
+/// Only the partition executor and the reference oracle evaluate the
+/// non-inner kinds; their output is emitted in the canonical sequenced
+/// result order (sorted serialized records) so executor and oracle runs
+/// are byte-identical at any thread count.
+enum class JoinKind : uint8_t {
+  kInner = 0,
+  kLeftOuter = 1,
+  kFullOuter = 2,
+  kAnti = 3,
+};
+
+inline const char* JoinKindName(JoinKind k) {
+  switch (k) {
+    case JoinKind::kInner:
+      return "inner";
+    case JoinKind::kLeftOuter:
+      return "left-outer";
+    case JoinKind::kFullOuter:
+      return "full-outer";
+    case JoinKind::kAnti:
+      return "anti";
+  }
+  return "?";
+}
+
 /// The options every join executor shares, factored out so VtJoinOptions
 /// and PartitionJoinOptions no longer duplicate (and silently fork) the
 /// same four knobs. Executor option structs inherit from this, so a
@@ -28,6 +67,12 @@ struct ExecOptions {
   // handle on their ExecContext (serial when absent), so one resolved
   // scheduler config governs every concurrent query instead of each
   // options value carrying its own thread count.
+
+  /// Which sequenced join variant to evaluate. Non-inner kinds are only
+  /// accepted by the partition executor and the reference oracle (the
+  /// planner routes kAuto requests to the partition executor); they
+  /// require the kOverlap predicate and last-overlap placement.
+  JoinKind join_kind = JoinKind::kInner;
 
   /// In-memory footprint budget (bytes) for the columnar radix fast path.
   /// 0 resolves at run time: TEMPO_RADIX_THRESHOLD_MB when set (strictly

@@ -1,6 +1,8 @@
 #include "obs/explain.h"
 
 #include <algorithm>
+
+#include "obs/exec_options.h"
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -128,6 +130,19 @@ std::string PhysicalPathLine(const MetricsRegistry& metrics) {
   return line;
 }
 
+/// Names the sequenced join variant when the run evaluated one beyond the
+/// default inner join, so EXPLAIN output states up front that unmatched
+/// uncovered subintervals were part of the result.
+std::string JoinKindLine(const MetricsRegistry& metrics) {
+  if (!metrics.Has(Metric::kSequencedJoinKind)) return "";
+  const int kind = static_cast<int>(metrics.Get(Metric::kSequencedJoinKind));
+  if (kind == 0) return "";  // inner: the default, not worth a line
+  std::string line = "join kind: ";
+  line += JoinKindName(static_cast<JoinKind>(kind));
+  line += " (canonical sequenced result order)\n";
+  return line;
+}
+
 std::string AlignRows(const std::vector<Row>& rows) {
   std::vector<size_t> widths;
   for (const Row& row : rows) {
@@ -206,6 +221,7 @@ std::string ExplainAnalyze(const ExecContext& ctx,
 
   std::ostringstream out;
   out << PhysicalPathLine(ctx.metrics());
+  out << JoinKindLine(ctx.metrics());
   out << AlignRows(rows);
 
   if (ctx.metrics().size() > 0) {

@@ -114,7 +114,25 @@ namespace tempo {
     "error) after being admitted.")                                           \
   M(QueriesCancelled, "queries_cancelled", "count", "QueryService",           \
     "Queries cancelled while still waiting in the admission queue; their "    \
-    "reservations were never granted.")
+    "reservations were never granted.")                                       \
+  M(SequencedJoinKind, "join_kind", "enum", "PartitionVtJoin / RunJoin",      \
+    "Sequenced join variant evaluated: 0 = inner, 1 = left-outer, 2 = "       \
+    "full-outer, 3 = anti. Set only by variant-capable runs.")                \
+  M(OuterUnmatchedTuples, "outer_unmatched_tuples", "tuples",                 \
+    "outer/anti join variants",                                               \
+    "Input tuples (either preserved side) whose validity interval was not "   \
+    "fully covered by key-matching partners and therefore produced at "       \
+    "least one unmatched result row.")                                        \
+  M(AntiEmittedIntervals, "anti_emitted_intervals", "count",                  \
+    "outer/anti join variants",                                               \
+    "Uncovered subintervals emitted by the anti join (its entire output; "    \
+    "0 for the outer kinds, which count theirs under "                        \
+    "uncovered_subintervals_emitted).")                                       \
+  M(UncoveredSubintervalsEmitted, "uncovered_subintervals_emitted", "count",  \
+    "outer/anti join variants",                                               \
+    "Total uncovered subintervals computed by IntervalSet difference and "    \
+    "emitted as NULL-padded (outer) or bare (anti) result rows, summed "      \
+    "over both preserved sides.")
 
 /// The declaration point for every histogram-kind metric, parallel to
 /// TEMPO_METRIC_LIST:

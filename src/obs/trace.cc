@@ -69,6 +69,18 @@ const char* PhaseName(Phase p) {
       return "radix_partition";
     case Phase::kRadixProbe:
       return "radix_probe";
+    case Phase::kQuery:
+      return "sequenced query";
+    case Phase::kQuerySelect:
+      return "select";
+    case Phase::kQueryProject:
+      return "project";
+    case Phase::kQueryDifference:
+      return "difference";
+    case Phase::kQueryJoin:
+      return "join";
+    case Phase::kOuterPass:
+      return "outer pass (swapped)";
   }
   return "?";
 }

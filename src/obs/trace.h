@@ -47,6 +47,12 @@ enum class Phase : uint8_t {
   kRadixExtract,     ///< page scan + column extraction of both inputs
   kRadixPartition,   ///< multi-pass 8-bit radix partitioning
   kRadixProbe,       ///< per-bucket build/probe plus ordered emission
+  kQuery,            ///< sequenced query root (src/query executor)
+  kQuerySelect,      ///< sequenced selection over a materialized input
+  kQueryProject,     ///< sequenced projection (change-preserving)
+  kQueryDifference,  ///< sequenced union-compatible set difference
+  kQueryJoin,        ///< sequenced join node (wraps RunJoin)
+  kOuterPass,        ///< swapped anti pass of the full-outer partition join
 };
 
 /// Stable lowercase display name ("partitioning r", "joinPartitions", ...).

@@ -1,0 +1,103 @@
+#include "query/query_plan.h"
+
+namespace tempo {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* QueryOpName(QueryOp op) {
+  switch (op) {
+    case QueryOp::kScan:
+      return "scan";
+    case QueryOp::kSelect:
+      return "select";
+    case QueryOp::kProject:
+      return "project";
+    case QueryOp::kJoin:
+      return "join";
+    case QueryOp::kDifference:
+      return "difference";
+  }
+  return "?";
+}
+
+bool EvalAttrPredicate(const AttrPredicate& pred, const Value& v) {
+  if (v.is_null() || pred.literal.is_null()) return false;
+  switch (pred.op) {
+    case CompareOp::kEq:
+      return v == pred.literal;
+    case CompareOp::kNe:
+      return v != pred.literal;
+    case CompareOp::kLt:
+      return v < pred.literal;
+    case CompareOp::kLe:
+      return v < pred.literal || v == pred.literal;
+    case CompareOp::kGt:
+      return !(v < pred.literal) && v != pred.literal;
+    case CompareOp::kGe:
+      return !(v < pred.literal);
+  }
+  return false;
+}
+
+QueryPlan QueryPlan::Scan(StoredRelation* rel) {
+  QueryPlan plan;
+  plan.root_ = std::make_unique<QueryNode>();
+  plan.root_->op = QueryOp::kScan;
+  plan.root_->scan = rel;
+  return plan;
+}
+
+QueryPlan QueryPlan::Join(QueryPlan left, QueryPlan right, JoinKind kind) {
+  QueryPlan plan;
+  plan.root_ = std::make_unique<QueryNode>();
+  plan.root_->op = QueryOp::kJoin;
+  plan.root_->join_kind = kind;
+  plan.root_->children.push_back(std::move(left.root_));
+  plan.root_->children.push_back(std::move(right.root_));
+  return plan;
+}
+
+QueryPlan QueryPlan::Difference(QueryPlan left, QueryPlan right) {
+  QueryPlan plan;
+  plan.root_ = std::make_unique<QueryNode>();
+  plan.root_->op = QueryOp::kDifference;
+  plan.root_->children.push_back(std::move(left.root_));
+  plan.root_->children.push_back(std::move(right.root_));
+  return plan;
+}
+
+QueryPlan QueryPlan::Select(AttrPredicate pred) && {
+  QueryPlan plan;
+  plan.root_ = std::make_unique<QueryNode>();
+  plan.root_->op = QueryOp::kSelect;
+  plan.root_->predicate = std::move(pred);
+  plan.root_->children.push_back(std::move(root_));
+  return plan;
+}
+
+QueryPlan QueryPlan::Project(std::vector<std::string> attrs) && {
+  QueryPlan plan;
+  plan.root_ = std::make_unique<QueryNode>();
+  plan.root_->op = QueryOp::kProject;
+  plan.root_->project_attrs = std::move(attrs);
+  plan.root_->children.push_back(std::move(root_));
+  return plan;
+}
+
+}  // namespace tempo

@@ -1,0 +1,272 @@
+#include "query/sequenced_exec.h"
+
+#include <utility>
+#include <vector>
+
+#include "storage/page_arena.h"
+#include "temporal/interval_set.h"
+
+namespace tempo {
+
+namespace {
+
+/// A node's materialized output: either a borrowed base relation (scan)
+/// or an owned temporary the parent must delete after consuming.
+struct Materialized {
+  StoredRelation* rel = nullptr;
+  std::unique_ptr<StoredRelation> owned;  // null when borrowed
+};
+
+class SequencedExecutor {
+ public:
+  SequencedExecutor(Disk* disk, const QueryOptions& options, ExecContext* ctx,
+                    const std::string& prefix)
+      : disk_(disk), options_(options), ctx_(ctx), prefix_(prefix) {}
+
+  StatusOr<Materialized> Run(const QueryNode& node) {
+    switch (node.op) {
+      case QueryOp::kScan:
+        return RunScan(node);
+      case QueryOp::kSelect:
+        return RunSelect(node);
+      case QueryOp::kProject:
+        return RunProject(node);
+      case QueryOp::kJoin:
+        return RunJoinNode(node);
+      case QueryOp::kDifference:
+        return RunDifference(node);
+    }
+    return Status::InvalidArgument("unknown query operator");
+  }
+
+ private:
+  std::string TempName() {
+    return prefix_ + ".n" + std::to_string(counter_++);
+  }
+
+  /// Deletes a consumed intermediate's backing file (no-op for borrowed
+  /// base relations).
+  Status Release(Materialized* m) {
+    if (m->owned == nullptr) return Status::OK();
+    Status st = disk_->DeleteFile(m->owned->file_id());
+    m->owned.reset();
+    m->rel = nullptr;
+    return st;
+  }
+
+  StatusOr<Materialized> RunScan(const QueryNode& node) {
+    if (node.scan == nullptr) {
+      return Status::InvalidArgument("scan node has no relation");
+    }
+    if (node.scan->HasUnflushedAppends()) {
+      return Status::FailedPrecondition(
+          "base relation " + node.scan->name() +
+          " must be flushed before querying");
+    }
+    Materialized m;
+    m.rel = node.scan;
+    return m;
+  }
+
+  /// Streaming zero-copy filter: each page's records are viewed in place;
+  /// passing records are appended verbatim, so a selected tuple's stored
+  /// bytes are identical to its input bytes (trivially change preserving).
+  StatusOr<Materialized> RunSelect(const QueryNode& node) {
+    TEMPO_ASSIGN_OR_RETURN(Materialized in, Run(*node.children[0]));
+    TraceSpan span = SpanIf(ctx_, Phase::kQuerySelect);
+    const Schema& schema = in.rel->schema();
+    auto pos = schema.IndexOf(node.predicate.attr);
+    if (!pos.has_value()) {
+      return Status::InvalidArgument("select: no attribute named '" +
+                                     node.predicate.attr + "' in " +
+                                     schema.ToString());
+    }
+    Materialized out;
+    out.owned =
+        std::make_unique<StoredRelation>(disk_, schema, TempName());
+    out.rel = out.owned.get();
+    PageTupleArena arena;
+    const uint32_t pages = in.rel->num_pages();
+    for (uint32_t p = 0; p < pages; ++p) {
+      Page page;
+      TEMPO_RETURN_IF_ERROR(in.rel->ReadPage(p, &page));
+      arena.Clear();
+      TEMPO_RETURN_IF_ERROR(
+          StoredRelation::DecodePageViews(schema, page, &arena).status());
+      for (const TupleView& v : arena.views()) {
+        if (!EvalAttrPredicate(node.predicate, v.ValueAt(*pos))) continue;
+        TEMPO_RETURN_IF_ERROR(out.rel->AppendRecord(v.record()));
+      }
+    }
+    TEMPO_RETURN_IF_ERROR(out.rel->Flush());
+    TEMPO_RETURN_IF_ERROR(Release(&in));
+    return out;
+  }
+
+  /// Change-preserving projection: keeps the named attributes (in the
+  /// given order) and the interval of every input tuple, duplicates and
+  /// all. Deliberately no coalescing — algebra::Project's coalesce would
+  /// merge value-equivalent rows and destroy per-tuple lineage.
+  StatusOr<Materialized> RunProject(const QueryNode& node) {
+    TEMPO_ASSIGN_OR_RETURN(Materialized in, Run(*node.children[0]));
+    TraceSpan span = SpanIf(ctx_, Phase::kQueryProject);
+    const Schema& schema = in.rel->schema();
+    std::vector<size_t> positions;
+    std::vector<Attribute> attrs;
+    positions.reserve(node.project_attrs.size());
+    for (const std::string& name : node.project_attrs) {
+      auto pos = schema.IndexOf(name);
+      if (!pos.has_value()) {
+        return Status::InvalidArgument("project: no attribute named '" +
+                                       name + "' in " + schema.ToString());
+      }
+      positions.push_back(*pos);
+      attrs.push_back(schema.attribute(*pos));
+    }
+    TEMPO_ASSIGN_OR_RETURN(Schema out_schema, Schema::Make(std::move(attrs)));
+    Materialized out;
+    out.owned =
+        std::make_unique<StoredRelation>(disk_, out_schema, TempName());
+    out.rel = out.owned.get();
+    auto scan = in.rel->Scan();
+    Tuple t;
+    while (true) {
+      TEMPO_ASSIGN_OR_RETURN(bool more, scan.Next(&t));
+      if (!more) break;
+      std::vector<Value> values;
+      values.reserve(positions.size());
+      for (size_t pos : positions) values.push_back(t.value(pos));
+      TEMPO_RETURN_IF_ERROR(
+          out.rel->Append(Tuple(std::move(values), t.interval())));
+    }
+    TEMPO_RETURN_IF_ERROR(out.rel->Flush());
+    TEMPO_RETURN_IF_ERROR(Release(&in));
+    return out;
+  }
+
+  StatusOr<Materialized> RunJoinNode(const QueryNode& node) {
+    TEMPO_ASSIGN_OR_RETURN(Materialized left, Run(*node.children[0]));
+    TEMPO_ASSIGN_OR_RETURN(Materialized right, Run(*node.children[1]));
+    TraceSpan span = SpanIf(ctx_, Phase::kQueryJoin);
+    Schema out_schema;
+    if (node.join_kind == JoinKind::kAnti) {
+      out_schema = left.rel->schema();  // anti preserves r's own schema
+    } else {
+      TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout,
+                             DeriveNaturalJoinLayout(left.rel->schema(),
+                                                     right.rel->schema()));
+      out_schema = layout.output;
+    }
+    Materialized out;
+    out.owned =
+        std::make_unique<StoredRelation>(disk_, out_schema, TempName());
+    out.rel = out.owned.get();
+    JoinRequest req;
+    req.From(left.rel, right.rel).Using(options_.executor);
+    req.options = options_.join;
+    req.options.join_kind = node.join_kind;
+    TEMPO_RETURN_IF_ERROR(RunJoin(req, out.rel, ctx_).status());
+    TEMPO_RETURN_IF_ERROR(Release(&left));
+    TEMPO_RETURN_IF_ERROR(Release(&right));
+    return out;
+  }
+
+  /// Union-compatible sequenced difference l -ᵗ r: for each l tuple,
+  /// subtract the intervals of every value-equivalent r tuple from its
+  /// validity and emit one row per uncovered subinterval. Per-tuple
+  /// arithmetic — duplicates in l each produce their own rows, and no two
+  /// l tuples are ever merged (change preservation; contrast
+  /// algebra::VtDifference, which coalesces per value group).
+  StatusOr<Materialized> RunDifference(const QueryNode& node) {
+    TEMPO_ASSIGN_OR_RETURN(Materialized left, Run(*node.children[0]));
+    TEMPO_ASSIGN_OR_RETURN(Materialized right, Run(*node.children[1]));
+    TraceSpan span = SpanIf(ctx_, Phase::kQueryDifference);
+    if (!(left.rel->schema() == right.rel->schema())) {
+      return Status::InvalidArgument(
+          "difference requires union-compatible inputs: " +
+          left.rel->schema().ToString() + " vs " +
+          right.rel->schema().ToString());
+    }
+    const Schema& schema = left.rel->schema();
+    std::vector<size_t> all_attrs;
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      all_attrs.push_back(i);
+    }
+    TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> r_tuples,
+                           right.rel->ReadAll());
+    HashedTupleIndex index(&r_tuples, &all_attrs);
+    Materialized out;
+    out.owned =
+        std::make_unique<StoredRelation>(disk_, schema, TempName());
+    out.rel = out.owned.get();
+    auto scan = left.rel->Scan();
+    Tuple x;
+    while (true) {
+      TEMPO_ASSIGN_OR_RETURN(bool more, scan.Next(&x));
+      if (!more) break;
+      std::vector<Interval> covered;
+      index.ForEachMatch(x, all_attrs, [&](const Tuple& y) {
+        auto common = Overlap(x.interval(), y.interval());
+        if (common) covered.push_back(*common);
+      });
+      const IntervalSet uncovered = SubtractAll(x.interval(), covered);
+      for (const Interval& iv : uncovered.intervals()) {
+        TEMPO_RETURN_IF_ERROR(out.rel->Append(Tuple(x.values(), iv)));
+      }
+    }
+    TEMPO_RETURN_IF_ERROR(out.rel->Flush());
+    TEMPO_RETURN_IF_ERROR(Release(&left));
+    TEMPO_RETURN_IF_ERROR(Release(&right));
+    return out;
+  }
+
+  Disk* disk_;
+  const QueryOptions& options_;
+  ExecContext* ctx_;
+  std::string prefix_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+StatusOr<QueryResult> RunSequencedQuery(const QueryPlan& plan, Disk* disk,
+                                        const QueryOptions& options,
+                                        ExecContext* ctx,
+                                        const std::string& name_prefix) {
+  if (disk == nullptr) {
+    return Status::InvalidArgument("RunSequencedQuery needs a disk");
+  }
+  if (ctx != nullptr && ctx->accountant() == nullptr) {
+    ctx->BindAccountant(&disk->accountant());
+  }
+  TraceSpan query_span = SpanIf(ctx, Phase::kQuery);
+  SequencedExecutor exec(disk, options, ctx, name_prefix);
+  TEMPO_ASSIGN_OR_RETURN(Materialized m, exec.Run(plan.root()));
+  QueryResult result;
+  if (m.owned != nullptr) {
+    result.relation = std::move(m.owned);
+  } else {
+    // Bare scan: materialize a copy so the caller always owns the result.
+    auto copy = std::make_unique<StoredRelation>(disk, m.rel->schema(),
+                                                 name_prefix + ".n.root");
+    PageTupleArena arena;
+    const uint32_t pages = m.rel->num_pages();
+    for (uint32_t p = 0; p < pages; ++p) {
+      Page page;
+      TEMPO_RETURN_IF_ERROR(m.rel->ReadPage(p, &page));
+      arena.Clear();
+      TEMPO_RETURN_IF_ERROR(
+          StoredRelation::DecodePageViews(m.rel->schema(), page, &arena)
+              .status());
+      for (const TupleView& v : arena.views()) {
+        TEMPO_RETURN_IF_ERROR(copy->AppendRecord(v.record()));
+      }
+    }
+    TEMPO_RETURN_IF_ERROR(copy->Flush());
+    result.relation = std::move(copy);
+  }
+  result.output_tuples = result.relation->num_tuples();
+  return result;
+}
+
+}  // namespace tempo

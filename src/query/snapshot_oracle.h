@@ -1,0 +1,46 @@
+#ifndef TEMPO_QUERY_SNAPSHOT_ORACLE_H_
+#define TEMPO_QUERY_SNAPSHOT_ORACLE_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/statusor.h"
+#include "query/query_plan.h"
+#include "relation/tuple.h"
+
+namespace tempo {
+
+/// Output schema of a plan node, derived without executing it.
+StatusOr<Schema> DeriveQuerySchema(const QueryNode& node);
+
+/// The snapshot oracle: evaluates the plan NONTEMPORALLY over the
+/// timeslices of its base relations at chronon `t` — scans timeslice,
+/// select/project/join/difference run as plain bag-semantics relational
+/// operators — and returns the resulting rows, each stamped [t, t].
+///
+/// This is the right-hand side of the snapshot-reducibility equation
+///   τ_t(Q(r₁..rₙ)) == Q_nontemporal(τ_t(r₁)..τ_t(rₙ))
+/// that every sequenced operator must satisfy. The oracle shares the
+/// executor's value primitives (EqualOnAttrs key equality where NULLs
+/// match, EvalAttrPredicate where NULLs fail), so any disagreement is an
+/// executor bug, not a semantics mismatch. O(product of input sizes);
+/// reads base relations on every call — testing only.
+StatusOr<std::vector<Tuple>> SnapshotEval(const QueryNode& node, Chronon t);
+
+/// [min start - 1, max end + 1] over every base-relation tuple under
+/// `node` — one chronon of slack each side so empty snapshots are checked
+/// too. Returns {0, -1} (an empty range) when all base relations are
+/// empty.
+StatusOr<std::pair<Chronon, Chronon>> BaseChrononRange(const QueryNode& node);
+
+/// Verifies snapshot reducibility of a sequenced result: for every
+/// chronon t in [lo, hi], the timeslice of `result` at t must equal (as a
+/// multiset) the snapshot oracle's evaluation of `plan` at t. Returns
+/// FailedPrecondition naming the first differing chronon.
+Status CheckSnapshotReducible(const QueryNode& plan,
+                              const std::vector<Tuple>& result, Chronon lo,
+                              Chronon hi);
+
+}  // namespace tempo
+
+#endif  // TEMPO_QUERY_SNAPSHOT_ORACLE_H_

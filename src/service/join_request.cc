@@ -36,11 +36,16 @@ namespace {
 
 /// The oracle as an executor: both inputs read fully (charged as
 /// sequential scans), joined in memory, results appended through the
-/// normal buffered writer. Output order is the definition's r-outer /
-/// s-inner order, so repeated runs are byte-identical.
+/// normal buffered writer. Inner output order is the definition's
+/// r-outer / s-inner order, so repeated runs are byte-identical; the
+/// sequenced outer/anti kinds instead write the canonical sequenced
+/// result order (sorted serialized records) — the same order the
+/// partition executor's variants write, so an oracle run and an executor
+/// run of the same request produce byte-identical output relations.
 StatusOr<JoinRunStats> RunReferenceJoin(StoredRelation* r, StoredRelation* s,
-                                        StoredRelation* out,
+                                        StoredRelation* out, JoinKind kind,
                                         ExecContext* ctx) {
+  TEMPO_RETURN_IF_ERROR(PrepareJoinForKind(r, s, out, kind).status());
   Disk* disk = r->disk();
   IoAccountant& acct = disk->accountant();
   if (ctx != nullptr && ctx->accountant() == nullptr) {
@@ -49,16 +54,23 @@ StatusOr<JoinRunStats> RunReferenceJoin(StoredRelation* r, StoredRelation* s,
   IoStats before = acct.stats();
   TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> r_tuples, r->ReadAll());
   TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> s_tuples, s->ReadAll());
-  TEMPO_ASSIGN_OR_RETURN(
-      std::vector<Tuple> result,
-      ReferenceValidTimeJoin(r->schema(), r_tuples, s->schema(), s_tuples));
+  TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> result,
+                         ReferenceSequencedJoin(r->schema(), r_tuples,
+                                                s->schema(), s_tuples, kind));
+  ResultWriter writer = kind == JoinKind::kInner
+                            ? ResultWriter(out)
+                            : ResultWriter::Canonical(out);
   for (const Tuple& t : result) {
-    TEMPO_RETURN_IF_ERROR(out->Append(t));
+    TEMPO_RETURN_IF_ERROR(writer.EmitAssembled(t));
   }
-  TEMPO_RETURN_IF_ERROR(out->Flush());
+  TEMPO_RETURN_IF_ERROR(writer.Finish());
   JoinRunStats stats;
   stats.io = acct.stats() - before;
   stats.output_tuples = result.size();
+  if (kind != JoinKind::kInner) {
+    stats.Set(Metric::kSequencedJoinKind,
+              static_cast<double>(static_cast<uint8_t>(kind)));
+  }
   ExportMetrics(stats, ctx);
   return stats;
 }
@@ -111,6 +123,16 @@ StatusOr<JoinRunStats> RunJoin(const JoinRequest& req, StoredRelation* out,
         "output relation must be distinct from the inputs");
   }
   TEMPO_RETURN_IF_ERROR(ValidateJoinAttrs(req));
+  if (req.options.join_kind != JoinKind::kInner &&
+      req.executor != JoinExecutor::kAuto &&
+      req.executor != JoinExecutor::kPartition &&
+      req.executor != JoinExecutor::kReference) {
+    return Status::InvalidArgument(
+        std::string("join kind ") + JoinKindName(req.options.join_kind) +
+        " is only evaluated by the partition executor or the reference "
+        "oracle, not " +
+        JoinExecutorName(req.executor));
+  }
 
   switch (req.executor) {
     case JoinExecutor::kAuto:
@@ -127,7 +149,7 @@ StatusOr<JoinRunStats> RunJoin(const JoinRequest& req, StoredRelation* out,
       return PartitionVtJoin(req.r, req.s, out, part, ctx);
     }
     case JoinExecutor::kReference:
-      return RunReferenceJoin(req.r, req.s, out, ctx);
+      return RunReferenceJoin(req.r, req.s, out, req.options.join_kind, ctx);
     case JoinExecutor::kInMemoryRadix: {
       RadixJoinOptions radix;
       static_cast<ExecOptions&>(radix) = req.options;

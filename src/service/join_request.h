@@ -84,6 +84,15 @@ struct JoinRequest {
     options.radix_budget_bytes = bytes;
     return *this;
   }
+  /// Selects the sequenced join variant. Non-inner kinds run on the
+  /// partition executor (kAuto routes there) or the reference oracle;
+  /// naming any other executor is InvalidArgument. Their output is the
+  /// canonical sequenced result order, so an executor run and an oracle
+  /// run of the same request are byte-identical.
+  JoinRequest& Kind(JoinKind kind) {
+    options.join_kind = kind;
+    return *this;
+  }
 };
 
 /// Executes `req` into `out`. Dispatches to the named executor (kAuto

@@ -1,0 +1,312 @@
+// Golden suite for the sequenced temporal query layer: ten hand-derived
+// SPJ pipelines over small relations, each checked two ways — exact
+// multiset equality against the hand-derived rows, and chronon-exact
+// snapshot reducibility against the nontemporal oracle at every chronon
+// of the inputs' lifespan (plus one chronon of slack each side). Also
+// covers plan validation errors, bare-scan materialization, intermediate
+// cleanup, and the EXPLAIN ANALYZE rendering of a sequenced run.
+//
+// The pipelines play the role of a PUG-style golden corpus: every
+// expected row below was derived by hand from the operator definitions
+// in DESIGN.md §4i and is stated inline, next to the plan that must
+// produce it.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "join/reference_join.h"
+#include "obs/explain.h"
+#include "query/query_plan.h"
+#include "query/sequenced_exec.h"
+#include "query/snapshot_oracle.h"
+#include "test_util.h"
+
+namespace tempo {
+namespace {
+
+using ::tempo::testing::MakeRelation;
+using ::tempo::testing::T;
+using ::tempo::testing::TestSchema;
+
+Schema SSchema() {
+  return Schema({{"key", ValueType::kInt64}, {"sval", ValueType::kString}});
+}
+
+Tuple S(int64_t key, const std::string& v, Chronon vs, Chronon ve) {
+  return Tuple({Value(key), Value(v)}, Interval(vs, ve));
+}
+
+Value VN(const char* s) {
+  return s == nullptr ? Value::Null() : Value(std::string(s));
+}
+
+// Join-output row (key, name, sval); nullptr marks a NULL-padded slot.
+Tuple J(int64_t key, const char* name, const char* sval, Chronon vs,
+        Chronon ve) {
+  return Tuple({Value(key), VN(name), VN(sval)}, Interval(vs, ve));
+}
+
+// Single-int64 and (int64, string) rows for projected outputs.
+Tuple K(int64_t key, Chronon vs, Chronon ve) {
+  return Tuple({Value(key)}, Interval(vs, ve));
+}
+Tuple N(const std::string& name, Chronon vs, Chronon ve) {
+  return Tuple({Value(name)}, Interval(vs, ve));
+}
+
+AttrPredicate Eq(const std::string& attr, Value v) {
+  return {attr, CompareOp::kEq, std::move(v)};
+}
+
+// The shared base data (same as the outer-join golden corpus):
+//
+// r (key, name):              s (key, sval):
+//   (1, alice) [0, 10]          (1, sales) [0, 7]
+//   (1, ann)   [5, 15]          (2, eng)   [3, 9]
+//   (2, bob)   [0, 5]           (3, ops)   [0, 4]
+//   (3, carol) [8, 12]          (5, hr)    [0, 30]
+//   (4, dave)  [20, 25]
+class GoldenPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = MakeRelation(&disk_, TestSchema(),
+                      {T(1, "alice", 0, 10), T(1, "ann", 5, 15),
+                       T(2, "bob", 0, 5), T(3, "carol", 8, 12),
+                       T(4, "dave", 20, 25)},
+                      "r");
+    s_ = MakeRelation(&disk_, SSchema(),
+                      {S(1, "sales", 0, 7), S(2, "eng", 3, 9),
+                       S(3, "ops", 0, 4), S(5, "hr", 0, 30)},
+                      "s");
+  }
+
+  // Runs `plan`, requires the output to equal `expected` exactly (as a
+  // multiset), and checks snapshot reducibility at every chronon of the
+  // base relations' range.
+  void ExpectGolden(const QueryPlan& plan,
+                    const std::vector<Tuple>& expected,
+                    const std::string& prefix) {
+    TEMPO_ASSERT_OK_AND_ASSIGN(
+        QueryResult result,
+        RunSequencedQuery(plan, &disk_, QueryOptions{}, nullptr, prefix));
+    TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> actual,
+                               result.relation->ReadAll());
+    EXPECT_TRUE(SameTupleMultiset(actual, expected))
+        << prefix << ": actual=" << actual.size()
+        << " expected=" << expected.size();
+    EXPECT_EQ(result.output_tuples, expected.size()) << prefix;
+
+    TEMPO_ASSERT_OK_AND_ASSIGN(auto range, BaseChrononRange(plan.root()));
+    ASSERT_LE(range.first, range.second) << prefix;
+    TEMPO_EXPECT_OK(
+        CheckSnapshotReducible(plan.root(), actual, range.first,
+                               range.second));
+  }
+
+  Disk disk_;
+  std::unique_ptr<StoredRelation> r_;
+  std::unique_ptr<StoredRelation> s_;
+};
+
+// P1: σ key=1 (r) — both key-1 tuples, intervals untouched.
+TEST_F(GoldenPipelineTest, SelectOnScan) {
+  ExpectGolden(QueryPlan::Scan(r_.get()).Select(Eq("key", Value(int64_t{1}))),
+               {T(1, "alice", 0, 10), T(1, "ann", 5, 15)}, "p1");
+}
+
+// P2: π key (r) — value-equal rows with overlapping intervals stay
+// separate rows: [0,10] and [5,15] for key 1 must NOT merge into [0,15]
+// (change preservation; algebra::Project would coalesce them).
+TEST_F(GoldenPipelineTest, ProjectKeepsDuplicatesAndIntervals) {
+  ExpectGolden(QueryPlan::Scan(r_.get()).Project({"key"}),
+               {K(1, 0, 10), K(1, 5, 15), K(2, 0, 5), K(3, 8, 12),
+                K(4, 20, 25)},
+               "p2");
+}
+
+// P3: π key (σ name≠bob (r)).
+TEST_F(GoldenPipelineTest, SelectThenProject) {
+  ExpectGolden(QueryPlan::Scan(r_.get())
+                   .Select({"name", CompareOp::kNe, Value(std::string("bob"))})
+                   .Project({"key"}),
+               {K(1, 0, 10), K(1, 5, 15), K(3, 8, 12), K(4, 20, 25)}, "p3");
+}
+
+// P4: σ sval=sales (r ⋈ᵗ s) — the two sales matches.
+TEST_F(GoldenPipelineTest, JoinThenSelect) {
+  ExpectGolden(
+      QueryPlan::Join(QueryPlan::Scan(r_.get()), QueryPlan::Scan(s_.get()))
+          .Select(Eq("sval", Value(std::string("sales")))),
+      {J(1, "alice", "sales", 0, 7), J(1, "ann", "sales", 5, 7)}, "p4");
+}
+
+// P5: π key,name (r ⟕ᵗ s) — the three matches plus the five uncovered
+// r-subintervals, with the NULL sval column projected away.
+TEST_F(GoldenPipelineTest, LeftOuterThenProject) {
+  ExpectGolden(
+      QueryPlan::Join(QueryPlan::Scan(r_.get()), QueryPlan::Scan(s_.get()),
+                      JoinKind::kLeftOuter)
+          .Project({"key", "name"}),
+      {T(1, "alice", 0, 7), T(1, "ann", 5, 7), T(2, "bob", 3, 5),
+       T(1, "alice", 8, 10), T(1, "ann", 8, 15), T(2, "bob", 0, 2),
+       T(3, "carol", 8, 12), T(4, "dave", 20, 25)},
+      "p5");
+}
+
+// P6: σ key>1 (r ⟗ᵗ s) — full outer, then drop the key-1 rows. The
+// s-unmatched rows carry s's key, so eng/ops/hr survive the filter.
+TEST_F(GoldenPipelineTest, FullOuterThenSelect) {
+  ExpectGolden(
+      QueryPlan::Join(QueryPlan::Scan(r_.get()), QueryPlan::Scan(s_.get()),
+                      JoinKind::kFullOuter)
+          .Select({"key", CompareOp::kGt, Value(int64_t{1})}),
+      {J(2, "bob", "eng", 3, 5), J(2, "bob", nullptr, 0, 2),
+       J(3, "carol", nullptr, 8, 12), J(4, "dave", nullptr, 20, 25),
+       J(2, nullptr, "eng", 6, 9), J(3, nullptr, "ops", 0, 4),
+       J(5, nullptr, "hr", 0, 30)},
+      "p6");
+}
+
+// P7: π name (r ▷ᵗ s) — anti join in r's own schema, then keep the name.
+TEST_F(GoldenPipelineTest, AntiThenProject) {
+  ExpectGolden(
+      QueryPlan::Join(QueryPlan::Scan(r_.get()), QueryPlan::Scan(s_.get()),
+                      JoinKind::kAnti)
+          .Project({"name"}),
+      {N("alice", 8, 10), N("ann", 8, 15), N("bob", 0, 2), N("carol", 8, 12),
+       N("dave", 20, 25)},
+      "p7");
+}
+
+// P8: r -ᵗ r2 — sequenced difference splits intervals per tuple: alice
+// loses [3,20] of her [0,10], bob [0,5] vanishes inside [0,10]; ann
+// (different name) is untouched even where alice's subtrahend overlaps.
+TEST_F(GoldenPipelineTest, DifferenceSplitsIntervals) {
+  auto r2 = MakeRelation(&disk_, TestSchema(),
+                         {T(1, "alice", 3, 20), T(2, "bob", 0, 10)}, "r2");
+  ExpectGolden(
+      QueryPlan::Difference(QueryPlan::Scan(r_.get()),
+                            QueryPlan::Scan(r2.get())),
+      {T(1, "alice", 0, 2), T(1, "ann", 5, 15), T(3, "carol", 8, 12),
+       T(4, "dave", 20, 25)},
+      "p8");
+}
+
+// P9: σ key=1 (r) ⟕ᵗ s — selection below the preserved side of an outer
+// join: only alice and ann reach the join, each with match + uncovered
+// rows.
+TEST_F(GoldenPipelineTest, SelectUnderLeftOuter) {
+  ExpectGolden(
+      QueryPlan::Join(
+          QueryPlan::Scan(r_.get()).Select(Eq("key", Value(int64_t{1}))),
+          QueryPlan::Scan(s_.get()), JoinKind::kLeftOuter),
+      {J(1, "alice", "sales", 0, 7), J(1, "ann", "sales", 5, 7),
+       J(1, "alice", nullptr, 8, 10), J(1, "ann", nullptr, 8, 15)},
+      "p9");
+}
+
+// P10: σ key=1 (r) -ᵗ σ name=alice (r) — difference of two selections;
+// alice cancels herself exactly, ann survives whole.
+TEST_F(GoldenPipelineTest, DifferenceOfSelects) {
+  ExpectGolden(
+      QueryPlan::Difference(
+          QueryPlan::Scan(r_.get()).Select(Eq("key", Value(int64_t{1}))),
+          QueryPlan::Scan(r_.get()).Select(
+              Eq("name", Value(std::string("alice"))))),
+      {T(1, "ann", 5, 15)}, "p10");
+}
+
+// ---------------------------------------------------------------------
+// Mechanics: bare scans, cleanup, validation, EXPLAIN ANALYZE
+// ---------------------------------------------------------------------
+
+TEST_F(GoldenPipelineTest, BareScanRootMaterializesACopy) {
+  TEMPO_ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      RunSequencedQuery(QueryPlan::Scan(r_.get()), &disk_));
+  EXPECT_NE(result.relation.get(), r_.get());
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> actual,
+                             result.relation->ReadAll());
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> original, r_->ReadAll());
+  EXPECT_TRUE(SameTupleMultiset(actual, original));
+}
+
+TEST_F(GoldenPipelineTest, IntermediatesAreDeletedEagerly) {
+  // A three-operator pipeline materializes two intermediates plus the
+  // root. Deleted files free their pages, so after the run the disk's
+  // footprint must be exactly the base relations plus the root's file.
+  const uint64_t pages_before = disk_.TotalPages();
+  TEMPO_ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      RunSequencedQuery(QueryPlan::Join(QueryPlan::Scan(r_.get()),
+                                        QueryPlan::Scan(s_.get()),
+                                        JoinKind::kLeftOuter)
+                            .Select({"key", CompareOp::kGe, Value(int64_t{0})})
+                            .Project({"key", "name"}),
+                        &disk_));
+  EXPECT_EQ(disk_.TotalPages(), pages_before + result.relation->num_pages())
+      << "intermediate relations must be deleted as soon as consumed";
+}
+
+TEST_F(GoldenPipelineTest, ValidationErrors) {
+  auto bad_select = RunSequencedQuery(
+      QueryPlan::Scan(r_.get()).Select(Eq("nope", Value(int64_t{0}))), &disk_);
+  EXPECT_EQ(bad_select.status().code(), StatusCode::kInvalidArgument);
+
+  auto bad_project = RunSequencedQuery(
+      QueryPlan::Scan(r_.get()).Project({"key", "nope"}), &disk_);
+  EXPECT_EQ(bad_project.status().code(), StatusCode::kInvalidArgument);
+
+  // r and s are not union compatible (name:string vs sval:string differ
+  // by attribute name).
+  auto bad_diff = RunSequencedQuery(
+      QueryPlan::Difference(QueryPlan::Scan(r_.get()),
+                            QueryPlan::Scan(s_.get())),
+      &disk_);
+  EXPECT_EQ(bad_diff.status().code(), StatusCode::kInvalidArgument);
+
+  StoredRelation unflushed(&disk_, TestSchema(), "unflushed");
+  TEMPO_ASSERT_OK(unflushed.Append(T(1, "x", 0, 1)));
+  auto bad_scan = RunSequencedQuery(QueryPlan::Scan(&unflushed), &disk_);
+  EXPECT_EQ(bad_scan.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(GoldenPipelineTest, ExplainAnalyzeShowsOperatorTreeAndJoinKind) {
+  ExplainOptions opts;
+  opts.include_timing = false;
+  {
+    ExecContext ctx;
+    TEMPO_ASSERT_OK_AND_ASSIGN(
+        QueryResult result,
+        RunSequencedQuery(QueryPlan::Join(QueryPlan::Scan(r_.get()),
+                                          QueryPlan::Scan(s_.get()),
+                                          JoinKind::kLeftOuter)
+                              .Project({"key", "name"}),
+                          &disk_, QueryOptions{}, &ctx));
+    EXPECT_EQ(result.output_tuples, 8u);
+    const std::string text = ExplainAnalyze(ctx, opts);
+    EXPECT_NE(text.find("sequenced query"), std::string::npos) << text;
+    EXPECT_NE(text.find("join kind: left-outer"), std::string::npos) << text;
+    // The swapped second pass belongs to the full outer only.
+    EXPECT_EQ(text.find("outer pass"), std::string::npos) << text;
+  }
+  {
+    ExecContext ctx;
+    TEMPO_ASSERT_OK_AND_ASSIGN(
+        QueryResult result,
+        RunSequencedQuery(QueryPlan::Join(QueryPlan::Scan(r_.get()),
+                                          QueryPlan::Scan(s_.get()),
+                                          JoinKind::kFullOuter),
+                          &disk_, QueryOptions{}, &ctx));
+    EXPECT_EQ(result.output_tuples, 11u);
+    const std::string text = ExplainAnalyze(ctx, opts);
+    EXPECT_NE(text.find("join kind: full-outer"), std::string::npos) << text;
+    EXPECT_NE(text.find("outer pass"), std::string::npos) << text;
+  }
+}
+
+}  // namespace
+}  // namespace tempo

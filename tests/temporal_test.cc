@@ -305,5 +305,65 @@ TEST_P(IntervalSetPropertyTest, AlgebraMatchesBitsetOracle) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetPropertyTest,
                          ::testing::Range<uint64_t>(0, 25));
 
+// SubtractAll is the primitive behind the sequenced outer/anti joins'
+// uncovered-subinterval emission: random universes against random covered
+// batches, checked chronon-by-chronon against a bitmap oracle, plus the
+// complement invariants (uncovered ∪ covered ⊇ universe, uncovered ∩
+// covered = ∅, uncovered ⊆ universe) and batch-order independence.
+class SubtractAllPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SubtractAllPropertyTest, MatchesBitmapOracleAndComplementLaws) {
+  constexpr Chronon kLifespan = 60;
+  Random rng(GetParam() * 7919 + 3);
+  for (int round = 0; round < 20; ++round) {
+    const Chronon us = rng.UniformRange(0, kLifespan - 1);
+    const Interval universe(
+        us, std::min<Chronon>(kLifespan - 1, us + rng.UniformRange(0, 25)));
+    std::vector<Interval> covered;
+    const size_t batch = rng.UniformRange(0, 8);
+    for (size_t i = 0; i < batch; ++i) {
+      Chronon s = rng.UniformRange(0, kLifespan - 1);
+      covered.push_back(Interval(
+          s, std::min<Chronon>(kLifespan - 1, s + rng.UniformRange(0, 12))));
+    }
+
+    const IntervalSet uncovered = SubtractAll(universe, covered);
+    auto in_covered = [&](Chronon t) {
+      for (const Interval& iv : covered) {
+        if (iv.Contains(t)) return true;
+      }
+      return false;
+    };
+    for (Chronon t = 0; t < kLifespan; ++t) {
+      const bool expect = universe.Contains(t) && !in_covered(t);
+      EXPECT_EQ(uncovered.Contains(t), expect)
+          << "seed=" << GetParam() << " round=" << round << " t=" << t;
+    }
+
+    // Complement law as set algebra: uncovered == {universe} \ covered.
+    IntervalSet u;
+    u.Add(universe);
+    EXPECT_EQ(uncovered, u.Difference(IntervalSet(covered)));
+
+    // Batch order must not matter (the parallel join folds coverage in
+    // nondeterministic wave order).
+    std::vector<Interval> reversed(covered.rbegin(), covered.rend());
+    EXPECT_EQ(SubtractAll(universe, reversed), uncovered);
+
+    // Normalization: sorted, disjoint, non-adjacent, inside the universe.
+    for (size_t i = 0; i < uncovered.intervals().size(); ++i) {
+      const Interval& iv = uncovered.intervals()[i];
+      EXPECT_GE(iv.start(), universe.start());
+      EXPECT_LE(iv.end(), universe.end());
+      if (i > 0) {
+        EXPECT_GT(iv.start(), uncovered.intervals()[i - 1].end() + 1);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubtractAllPropertyTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
 }  // namespace
 }  // namespace tempo
