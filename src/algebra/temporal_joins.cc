@@ -12,7 +12,7 @@ StatusOr<JoinRunStats> PartitionTemporalJoin(StoredRelation* r,
                                              StoredRelation* out,
                                              IntervalJoinPredicate predicate,
                                              PartitionJoinOptions options) {
-  options.predicate = predicate;
+  options.predicate = TemporalPredicate::FromJoinPredicate(predicate);
   return PartitionVtJoin(r, s, out, options);
 }
 

@@ -143,7 +143,7 @@ class OuterArea {
 struct ProbeContext {
   const NaturalJoinLayout* layout = nullptr;
   const Schema* inner_schema = nullptr;
-  IntervalJoinPredicate predicate = IntervalJoinPredicate::kOverlap;
+  TemporalPredicate predicate;
   /// De-duplication partition p_i: emit only pairs whose overlap ends in
   /// it. Null in the single-partition fast path (no duplicates possible).
   const Interval* dedup_interval = nullptr;
@@ -179,7 +179,7 @@ void ForEachEmission(const ProbeContext& ctx, const HashedTupleIndex& index,
             !ctx.dedup_interval->Contains(common->end())) {
           return;
         }
-        if (!EvalIntervalPredicate(ctx.predicate, x.interval(), y_iv)) {
+        if (!PredicateAdmitsOverlapping(ctx.predicate, x.interval(), y_iv)) {
           return;
         }
         fn(x, idx, *common);
@@ -397,7 +397,7 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
                                       StoredRelation* out,
                                       uint32_t buffer_pages,
                                       PlacementPolicy placement,
-                                      IntervalJoinPredicate predicate,
+                                      TemporalPredicate predicate,
                                       uint32_t cache_memory_pages,
                                       ExecContext* ctx,
                                       MorselStats* morsel_stats,
@@ -609,6 +609,7 @@ StatusOr<JoinRunStats> RunPartitionPass(StoredRelation* r, StoredRelation* s,
     return Status::InvalidArgument(
         "partition join needs at least 4 buffer pages");
   }
+  TEMPO_RETURN_IF_ERROR(RequireSharedChrononPredicate(options, "partition"));
   Disk* disk = r->disk();
   IoAccountant& acct = disk->accountant();
   if (ctx != nullptr && ctx->accountant() == nullptr) {
@@ -797,7 +798,7 @@ StatusOr<JoinRunStats> PartitionVtJoin(StoredRelation* r, StoredRelation* s,
   // assumes every key-matching overlap is observed exactly once, which the
   // dedup rule guarantees only under last-overlap placement and the plain
   // overlap predicate.
-  if (options.predicate != IntervalJoinPredicate::kOverlap) {
+  if (!options.predicate.IsOverlapDefault()) {
     return Status::InvalidArgument(
         "outer/anti join variants require the overlap predicate");
   }

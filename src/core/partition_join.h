@@ -4,7 +4,7 @@
 #include "core/determine_part_intervals.h"
 #include "core/grace_partitioner.h"
 #include "join/join_common.h"
-#include "temporal/interval_predicate.h"
+#include "temporal/temporal_predicate.h"
 
 namespace tempo {
 
@@ -25,10 +25,11 @@ struct PartitionJoinOptions : ExecOptions {
   /// Leung-Muntz ablation baseline.
   PlacementPolicy placement = PlacementPolicy::kLastOverlap;
 
-  /// Timestamp predicate. kOverlap yields the valid-time natural join;
-  /// the other overlap-implying predicates of the temporal-join family
-  /// (Section 4.1) reuse the same partitioning machinery.
-  IntervalJoinPredicate predicate = IntervalJoinPredicate::kOverlap;
+  // The timestamp predicate lives in the ExecOptions base (`predicate`, a
+  // TemporalPredicate). The partition machinery serves any predicate whose
+  // relations all imply a shared chronon — matching pairs necessarily meet
+  // in the partition holding their overlap's end (Section 4.1) — and
+  // rejects the rest (RequireSharedChrononPredicate).
 
   /// In-memory pages reserved for the tuple cache (Figure 3 reserves one).
   /// Raising this trades outer-partition area for cache space, the
@@ -109,8 +110,8 @@ StatusOr<JoinRunStats> JoinPartitions(const NaturalJoinLayout& layout,
                                       StoredRelation* out,
                                       uint32_t buffer_pages,
                                       PlacementPolicy placement,
-                                      IntervalJoinPredicate predicate =
-                                          IntervalJoinPredicate::kOverlap,
+                                      TemporalPredicate predicate =
+                                          TemporalPredicate::Overlap(),
                                       uint32_t cache_memory_pages = 1,
                                       ExecContext* ctx = nullptr,
                                       MorselStats* morsel_stats = nullptr,

@@ -7,6 +7,7 @@
 #include "core/radix_join.h"
 #include "join/nested_loop_join.h"
 #include "join/sort_merge_join.h"
+#include "join/sweep_join.h"
 
 namespace tempo {
 
@@ -20,6 +21,8 @@ const char* JoinAlgorithmName(JoinAlgorithm a) {
       return "partition";
     case JoinAlgorithm::kInMemoryRadix:
       return "in-memory-radix";
+    case JoinAlgorithm::kSweep:
+      return "sweep";
   }
   return "?";
 }
@@ -97,12 +100,30 @@ double EstimateRadixJoinCost(uint32_t pages_r, uint32_t pages_s,
   return model.Cost(2, pages_r + pages_s >= 2 ? pages_r + pages_s - 2 : 0);
 }
 
+double EstimateSweepJoinCost(uint32_t pages_r, uint32_t pages_s,
+                             uint32_t buffer_pages, const CostModel& model) {
+  // Sort both + one co-scan — the sweep pays exactly sort-merge's I/O;
+  // its advantage (gapless active maps, no back-up re-reads) is CPU/cache
+  // work the I/O model does not price.
+  return EstimateSortMergeCost(pages_r, pages_s, buffer_pages, model);
+}
+
 JoinPlan PlanVtJoin(StoredRelation* r, StoredRelation* s,
                     const VtJoinOptions& options) {
   const uint32_t pr = r->num_pages();
   const uint32_t ps = s->num_pages();
   const uint32_t b = options.buffer_pages;
   const CostModel& m = options.cost_model;
+  const TemporalPredicate& pred = options.predicate;
+  // Overlap-driven executors only see pairs that meet in a partition /
+  // active window, so they can serve exactly the predicates whose
+  // relations all share a chronon. The sweep additionally serves the
+  // adjacency relations (meets/met-by) and is the only executor that does.
+  const bool overlap_family = pred.ImpliesSharedChronon();
+  const bool sweep_eligible = !pred.HasDisjointNonAdjacent();
+  const std::string pred_rationale =
+      "ineligible: predicate '" + pred.Name() +
+      "' needs the adjacency-aware sweep executor";
 
   JoinPlan plan;
   // The radix candidate goes first: at equal estimated I/O (it ties
@@ -111,7 +132,11 @@ JoinPlan PlanVtJoin(StoredRelation* r, StoredRelation* s,
   // tuple-at-a-time paths on CPU, which the I/O cost model cannot see.
   const uint64_t budget = ResolveRadixBudgetBytes(options);
   const uint64_t footprint = EstimateRadixFootprintBytes(pr, ps);
-  if (footprint <= budget) {
+  if (!overlap_family) {
+    plan.candidates.push_back({JoinAlgorithm::kInMemoryRadix,
+                               std::numeric_limits<double>::infinity(),
+                               pred_rationale});
+  } else if (footprint <= budget) {
     plan.candidates.push_back(
         {JoinAlgorithm::kInMemoryRadix, EstimateRadixJoinCost(pr, ps, m),
          "columnar in-memory radix; est footprint " +
@@ -124,15 +149,39 @@ JoinPlan PlanVtJoin(StoredRelation* r, StoredRelation* s,
          "ineligible: est footprint " + std::to_string(footprint) +
              " B exceeds budget " + std::to_string(budget) + " B"});
   }
+  if (overlap_family) {
+    plan.candidates.push_back(
+        {JoinAlgorithm::kNestedLoop, EstimateNestedLoopCost(pr, ps, b, m),
+         "blocks(r) x scan(s); exact closed form"});
+    plan.candidates.push_back(
+        {JoinAlgorithm::kSortMerge, EstimateSortMergeCost(pr, ps, b, m),
+         "sort both + co-scan; back-up not modelled"});
+    plan.candidates.push_back(
+        {JoinAlgorithm::kPartition, EstimatePartitionJoinCost(pr, ps, b, m),
+         "sample + Grace partition both + join scan; cache not modelled"});
+  } else {
+    plan.candidates.push_back({JoinAlgorithm::kNestedLoop,
+                               std::numeric_limits<double>::infinity(),
+                               pred_rationale});
+    plan.candidates.push_back({JoinAlgorithm::kSortMerge,
+                               std::numeric_limits<double>::infinity(),
+                               pred_rationale});
+    plan.candidates.push_back({JoinAlgorithm::kPartition,
+                               std::numeric_limits<double>::infinity(),
+                               pred_rationale});
+  }
+  // The sweep is listed after sort-merge, whose estimated I/O it ties:
+  // under the default predicate stable_sort preserves every established
+  // pick, while a meets/during/starts/... predicate leaves the sweep as
+  // the only finite candidate.
   plan.candidates.push_back(
-      {JoinAlgorithm::kNestedLoop, EstimateNestedLoopCost(pr, ps, b, m),
-       "blocks(r) x scan(s); exact closed form"});
-  plan.candidates.push_back(
-      {JoinAlgorithm::kSortMerge, EstimateSortMergeCost(pr, ps, b, m),
-       "sort both + co-scan; back-up not modelled"});
-  plan.candidates.push_back(
-      {JoinAlgorithm::kPartition, EstimatePartitionJoinCost(pr, ps, b, m),
-       "sample + Grace partition both + join scan; cache not modelled"});
+      {JoinAlgorithm::kSweep,
+       sweep_eligible ? EstimateSweepJoinCost(pr, ps, b, m)
+                      : std::numeric_limits<double>::infinity(),
+       sweep_eligible
+           ? "sort both + one sweep; active maps are in-memory"
+           : "ineligible: predicate '" + pred.Name() +
+                 "' contains before/after (reference oracle only)"});
   std::stable_sort(plan.candidates.begin(), plan.candidates.end(),
                    [](const JoinEstimate& a, const JoinEstimate& b2) {
                      return a.estimated_cost < b2.estimated_cost;
@@ -147,6 +196,13 @@ StatusOr<JoinRunStats> ExecuteVtJoin(StoredRelation* r, StoredRelation* s,
                                      ExecContext* ctx) {
   if (ctx != nullptr && ctx->accountant() == nullptr) {
     ctx->BindAccountant(&r->disk()->accountant());
+  }
+  if (options.predicate.HasDisjointNonAdjacent()) {
+    return Status::InvalidArgument(
+        "no plannable executor evaluates predicate '" +
+        options.predicate.Name() +
+        "': before/after match unboundedly separated tuples (use the "
+        "reference oracle, JoinExecutor::kReference)");
   }
   if (options.join_kind != JoinKind::kInner) {
     // The sequenced outer/anti variants are implemented only by the
@@ -186,6 +242,9 @@ StatusOr<JoinRunStats> ExecuteVtJoin(StoredRelation* r, StoredRelation* s,
         break;
       case JoinAlgorithm::kInMemoryRadix:
         ctx->AnnotateEstimate(Phase::kRadixJoin, est);
+        break;
+      case JoinAlgorithm::kSweep:
+        ctx->AnnotateEstimate(Phase::kSweepJoin, est);
         break;
     }
     // Record the footprint-vs-budget decision inputs whichever path was
@@ -229,6 +288,9 @@ StatusOr<JoinRunStats> ExecuteVtJoin(StoredRelation* r, StoredRelation* s,
       }
       break;
     }
+    case JoinAlgorithm::kSweep:
+      stats = SweepVtJoin(r, s, out, options, ctx);
+      break;
   }
   if (stats.ok()) {
     if (radix_fallback) stats->Set(Metric::kRadixFallback, 1.0);

@@ -10,12 +10,13 @@ namespace tempo {
 
 /// The evaluation strategies for the valid-time natural join. Enumerator
 /// order is the kPlannedAlgorithm metric encoding (0 = NL, 1 = SM, 2 = PJ,
-/// 3 = radix); append only.
+/// 3 = radix, 4 = sweep); append only.
 enum class JoinAlgorithm {
   kNestedLoop,
   kSortMerge,
   kPartition,
   kInMemoryRadix,
+  kSweep,
 };
 
 const char* JoinAlgorithmName(JoinAlgorithm a);
@@ -66,10 +67,24 @@ double EstimatePartitionJoinCost(uint32_t pages_r, uint32_t pages_s,
 double EstimateRadixJoinCost(uint32_t pages_r, uint32_t pages_s,
                              const CostModel& model);
 
+/// I/O cost of the endpoint-sweep executor: sort both inputs plus one
+/// co-scan — identical to the sort-merge formula (the sweep's active maps
+/// are in-memory state the I/O model does not price). It is listed after
+/// sort-merge, so at equal estimated I/O the default overlap predicate
+/// keeps the established pick; the sweep wins outright whenever the
+/// predicate rules the other executors out.
+double EstimateSweepJoinCost(uint32_t pages_r, uint32_t pages_s,
+                             uint32_t buffer_pages, const CostModel& model);
+
 /// Ranks the algorithms for r |X|_v s under `options` and returns the
 /// full ranking (the in-memory radix path included; when its estimated
 /// footprint exceeds the memory budget it is ranked last at infinite cost
-/// with the footprint-vs-budget rationale).
+/// with the footprint-vs-budget rationale). The ranking is predicate-
+/// aware: predicates whose relations all imply a shared chronon admit
+/// every executor; adjacency predicates (meets/met-by) rank every
+/// non-sweep executor ineligible at infinite cost; predicates containing
+/// before/after are not plannable at all (ExecuteVtJoin rejects them —
+/// only the reference oracle evaluates those).
 JoinPlan PlanVtJoin(StoredRelation* r, StoredRelation* s,
                     const VtJoinOptions& options);
 

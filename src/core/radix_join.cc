@@ -216,6 +216,7 @@ StatusOr<JoinRunStats> RadixVtJoin(StoredRelation* r, StoredRelation* s,
                                    const RadixJoinOptions& options,
                                    ExecContext* ctx) {
   TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout, PrepareJoin(r, s, out));
+  TEMPO_RETURN_IF_ERROR(RequireSharedChrononPredicate(options, "radix"));
   if (ctx != nullptr && ctx->accountant() == nullptr) {
     ctx->BindAccountant(&r->disk()->accountant());
   }
@@ -326,6 +327,10 @@ StatusOr<JoinRunStats> RadixVtJoin(StoredRelation* r, StoredRelation* s,
       const TupleView& yv = s_extract.views()[p.s_row];
       const std::optional<Interval> overlap =
           Overlap(xv.interval(), yv.interval());
+      if (!PredicateAdmitsOverlapping(options.predicate, xv.interval(),
+                                      yv.interval())) {
+        continue;
+      }
       TEMPO_RETURN_IF_ERROR(writer.Emit(layout, xv, yv, *overlap));
     }
     TEMPO_RETURN_IF_ERROR(writer.Finish());

@@ -15,6 +15,7 @@ StatusOr<JoinRunStats> IndexedVtJoin(StoredRelation* r, StoredRelation* s,
     return Status::InvalidArgument(
         "indexed join needs at least 8 buffer pages");
   }
+  TEMPO_RETURN_IF_ERROR(RequireSharedChrononPredicate(options, "indexed"));
   Disk* disk = r->disk();
   IoAccountant& acct = disk->accountant();
   if (ctx != nullptr && ctx->accountant() == nullptr) {
@@ -112,6 +113,10 @@ StatusOr<JoinRunStats> IndexedVtJoin(StoredRelation* r, StoredRelation* s,
           if (!status.ok()) return;
           auto common = Overlap(x.interval(), y_iv);
           if (!common) return;
+          if (!PredicateAdmitsOverlapping(options.predicate, x.interval(),
+                                          y_iv)) {
+            return;
+          }
           status = writer.Emit(layout, x, y, *common);
         });
         if (!status.ok()) break;

@@ -57,6 +57,31 @@ inline void ExportMetrics(const JoinRunStats& stats, ExecContext* ctx) {
   if (ctx != nullptr) ctx->metrics().Merge(stats.metrics);
 }
 
+/// Direct-call guard for the overlap-driven executors (nested-loop,
+/// sort-merge, indexed, partition, radix): every relation in the
+/// predicate's disjunction must imply a shared chronon, because these
+/// executors only ever consider tuple pairs that meet in a partition /
+/// active window. Facade requests hit the same rule earlier through
+/// ValidateExecOptions; this keeps direct executor calls safe too.
+inline Status RequireSharedChrononPredicate(const ExecOptions& options,
+                                            const char* executor) {
+  if (options.predicate.ImpliesSharedChronon()) return Status::OK();
+  return Status::InvalidArgument(
+      std::string(executor) + " executor cannot evaluate predicate '" +
+      options.predicate.Name() +
+      "': it contains relations without a shared chronon (use the sweep "
+      "executor for meets/met-by, the reference oracle for before/after)");
+}
+
+/// Emission-site filter for pairs already known to share a chronon: the
+/// default overlap predicate accepts unconditionally; any narrower
+/// overlap-family predicate classifies the pair and tests the mask.
+inline bool PredicateAdmitsOverlapping(const TemporalPredicate& pred,
+                                       const Interval& x, const Interval& y) {
+  if (pred.IsOverlapDefault()) return true;
+  return pred.Test(ClassifyAllen(x, y));
+}
+
 /// Assembles the result tuple of the valid-time natural join (paper
 /// Section 2): explicit values A (shared), B (r-only), C (s-only), stamped
 /// with the overlap of the input intervals. `overlap` must be the

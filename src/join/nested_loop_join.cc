@@ -11,6 +11,8 @@ StatusOr<JoinRunStats> NestedLoopVtJoin(StoredRelation* r, StoredRelation* s,
     return Status::InvalidArgument(
         "nested-loop join needs at least 3 buffer pages");
   }
+  TEMPO_RETURN_IF_ERROR(
+      RequireSharedChrononPredicate(options, "nested-loop"));
   IoAccountant& acct = r->disk()->accountant();
   if (ctx != nullptr && ctx->accountant() == nullptr) {
     ctx->BindAccountant(&acct);
@@ -60,7 +62,11 @@ StatusOr<JoinRunStats> NestedLoopVtJoin(StoredRelation* r, StoredRelation* s,
         index.ForEachMatch(y, layout.s_join_attrs, [&](const Tuple& x) {
           if (!status.ok()) return;
           auto common = Overlap(x.interval(), y_iv);
-          if (common) status = writer.Emit(layout, x, y, *common);
+          if (common &&
+              PredicateAdmitsOverlapping(options.predicate, x.interval(),
+                                         y_iv)) {
+            status = writer.Emit(layout, x, y, *common);
+          }
         });
         TEMPO_RETURN_IF_ERROR(status);
       }

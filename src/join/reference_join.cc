@@ -10,6 +10,14 @@ namespace tempo {
 StatusOr<std::vector<Tuple>> ReferenceValidTimeJoin(
     const Schema& r_schema, const std::vector<Tuple>& r,
     const Schema& s_schema, const std::vector<Tuple>& s) {
+  return ReferenceTemporalJoin(r_schema, r, s_schema, s,
+                               TemporalPredicate::Overlap());
+}
+
+StatusOr<std::vector<Tuple>> ReferenceTemporalJoin(
+    const Schema& r_schema, const std::vector<Tuple>& r,
+    const Schema& s_schema, const std::vector<Tuple>& s,
+    const TemporalPredicate& predicate) {
   TEMPO_ASSIGN_OR_RETURN(NaturalJoinLayout layout,
                          DeriveNaturalJoinLayout(r_schema, s_schema));
   std::vector<Tuple> out;
@@ -18,9 +26,9 @@ StatusOr<std::vector<Tuple>> ReferenceValidTimeJoin(
       if (!x.EqualOnAttrs(layout.r_join_attrs, layout.s_join_attrs, y)) {
         continue;
       }
-      auto common = Overlap(x.interval(), y.interval());
-      if (!common) continue;
-      out.push_back(MakeJoinTuple(layout, x, y, *common));
+      if (!predicate.Matches(x.interval(), y.interval())) continue;
+      out.push_back(MakeJoinTuple(
+          layout, x, y, PredicateResultInterval(x.interval(), y.interval())));
     }
   }
   return out;

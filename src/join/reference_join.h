@@ -21,6 +21,18 @@ StatusOr<std::vector<Tuple>> ReferenceValidTimeJoin(
     const Schema& r_schema, const std::vector<Tuple>& r,
     const Schema& s_schema, const std::vector<Tuple>& s);
 
+/// Generalized oracle over any TemporalPredicate: for every key-matching
+/// pair (x, y) whose Allen relation belongs to `predicate`, emit z =
+/// (A, B, C) stamped with PredicateResultInterval(x[V], y[V]) — the
+/// intersection for chronon-sharing pairs, the covering span for the
+/// adjacency/disjoint relations. ReferenceValidTimeJoin is the special
+/// case predicate == overlap. This is the single ground truth for every
+/// executor × predicate pair. O(|r|·|s|), entirely in memory.
+StatusOr<std::vector<Tuple>> ReferenceTemporalJoin(
+    const Schema& r_schema, const std::vector<Tuple>& r,
+    const Schema& s_schema, const std::vector<Tuple>& s,
+    const TemporalPredicate& predicate);
+
 /// Brute-force oracle for the sequenced join variants. kInner reduces to
 /// ReferenceValidTimeJoin. The outer kinds additionally emit, per
 /// preserved-side tuple, the subintervals of its validity not overlapped

@@ -234,6 +234,7 @@ StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
     return Status::InvalidArgument(
         "sort-merge join needs at least 4 buffer pages");
   }
+  TEMPO_RETURN_IF_ERROR(RequireSharedChrononPredicate(options, "sort-merge"));
   Disk* disk = r->disk();
   IoAccountant& acct = disk->accountant();
   if (ctx != nullptr && ctx->accountant() == nullptr) {
@@ -339,6 +340,10 @@ StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
         if (!status.ok()) return;
         auto common = Overlap(arrival.interval(), at.tuple.interval());
         if (!common) return;
+        if (!PredicateAdmitsOverlapping(options.predicate, arrival.interval(),
+                                        at.tuple.interval())) {
+          return;
+        }
         status = charge_backup(1, at);
         if (!status.ok()) return;
         status = writer.Emit(layout, arrival, at.tuple, *common);
@@ -353,6 +358,10 @@ StatusOr<JoinRunStats> SortMergeVtJoin(StoredRelation* r, StoredRelation* s,
         if (!status.ok()) return;
         auto common = Overlap(at.tuple.interval(), arrival.interval());
         if (!common) return;
+        if (!PredicateAdmitsOverlapping(options.predicate, at.tuple.interval(),
+                                        arrival.interval())) {
+          return;
+        }
         status = charge_backup(0, at);
         if (!status.ok()) return;
         status = writer.Emit(layout, at.tuple, arrival, *common);

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "storage/io_accountant.h"
+#include "temporal/temporal_predicate.h"
 
 namespace tempo {
 
@@ -68,11 +69,20 @@ struct ExecOptions {
   // scheduler config governs every concurrent query instead of each
   // options value carrying its own thread count.
 
-  /// Which sequenced join variant to evaluate. Non-inner kinds are only
-  /// accepted by the partition executor and the reference oracle (the
-  /// planner routes kAuto requests to the partition executor); they
-  /// require the kOverlap predicate and last-overlap placement.
+  /// Which sequenced join variant to evaluate. Which (executor, kind,
+  /// predicate) combinations are admissible is enforced centrally by
+  /// ValidateExecOptions (src/service/join_request.h) — e.g. non-inner
+  /// kinds are only accepted by the partition executor and the reference
+  /// oracle, and require the default overlap predicate.
   JoinKind join_kind = JoinKind::kInner;
+
+  /// The temporal matching condition: a disjunction of Allen relations.
+  /// Defaults to `overlap`, the valid-time natural join's condition.
+  /// Predicates whose relations all imply a shared chronon run on any
+  /// executor; adjacency predicates (meets/met-by) need the sweep
+  /// executor; predicates containing before/after only run on the
+  /// reference oracle. See ValidateExecOptions.
+  TemporalPredicate predicate;
 
   /// In-memory footprint budget (bytes) for the columnar radix fast path.
   /// 0 resolves at run time: TEMPO_RADIX_THRESHOLD_MB when set (strictly

@@ -77,7 +77,7 @@ namespace tempo {
     "Worker busy time / (wall time x threads) over the parallel regions.")    \
   M(PlannedAlgorithm, "planned_algorithm", "enum", "ExecuteVtJoin",           \
     "Algorithm the planner chose: 0 = nested-loops, 1 = sort-merge, 2 = "     \
-    "partition, 3 = in-memory radix.")                                        \
+    "partition, 3 = in-memory radix, 4 = endpoint sweep.")                    \
   M(PlannedCost, "planned_cost", "cost", "ExecuteVtJoin",                     \
     "Planner-estimated I/O cost of the chosen algorithm.")                    \
   M(RadixPasses, "radix_passes", "count", "RadixVtJoin",                      \
@@ -132,7 +132,23 @@ namespace tempo {
     "outer/anti join variants",                                               \
     "Total uncovered subintervals computed by IntervalSet difference and "    \
     "emitted as NULL-padded (outer) or bare (anti) result rows, summed "      \
-    "over both preserved sides.")
+    "over both preserved sides.")                                             \
+  M(JoinPredicateMask, "join_predicate_mask", "bitmask", "RunJoin",           \
+    "TemporalPredicate evaluated by the run, as its 13-bit Allen-relation "   \
+    "mask (bit i = relation i in enum order, before..after). Set by every "   \
+    "sweep run and by any run whose predicate is not the default overlap "    \
+    "disjunction (0x7fc).")                                                   \
+  M(SweepActivePeak, "sweep_active_peak", "tuples", "SweepVtJoin",            \
+    "Peak combined live-tuple count of the two gapless active maps during "   \
+    "the sweep pass.")                                                        \
+  M(SweepAppends, "sweep_appends", "tuples", "SweepVtJoin",                   \
+    "Tuples appended to the active maps (every input tuple, once).")          \
+  M(SweepCompactions, "sweep_compactions", "count", "SweepVtJoin",            \
+    "Global compactions of the gapless active maps, triggered when expired "  \
+    "entries exceed half of a map's append log.")                             \
+  M(SweepProbeHits, "sweep_probe_hits", "tuples", "SweepVtJoin",              \
+    "Active-map candidates visited across all probes (bucket walk length "    \
+    "after the liveness filter).")
 
 /// The declaration point for every histogram-kind metric, parallel to
 /// TEMPO_METRIC_LIST:

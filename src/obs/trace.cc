@@ -81,6 +81,10 @@ const char* PhaseName(Phase p) {
       return "join";
     case Phase::kOuterPass:
       return "outer pass (swapped)";
+    case Phase::kSweepJoin:
+      return "sweep join";
+    case Phase::kSweepPass:
+      return "sweep pass";
   }
   return "?";
 }

@@ -53,6 +53,8 @@ enum class Phase : uint8_t {
   kQueryDifference,  ///< sequenced union-compatible set difference
   kQueryJoin,        ///< sequenced join node (wraps RunJoin)
   kOuterPass,        ///< swapped anti pass of the full-outer partition join
+  kSweepJoin,        ///< endpoint-sweep executor root
+  kSweepPass,        ///< the single forward sweep over both sorted inputs
 };
 
 /// Stable lowercase display name ("partitioning r", "joinPartitions", ...).

@@ -73,6 +73,13 @@ QueryPlan QueryPlan::Join(QueryPlan left, QueryPlan right, JoinKind kind) {
   return plan;
 }
 
+QueryPlan QueryPlan::Join(QueryPlan left, QueryPlan right,
+                          TemporalPredicate predicate) {
+  QueryPlan plan = Join(std::move(left), std::move(right), JoinKind::kInner);
+  plan.root_->join_predicate = predicate;
+  return plan;
+}
+
 QueryPlan QueryPlan::Difference(QueryPlan left, QueryPlan right) {
   QueryPlan plan;
   plan.root_ = std::make_unique<QueryNode>();

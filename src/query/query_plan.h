@@ -65,6 +65,14 @@ struct QueryNode {
   /// anti).
   JoinKind join_kind = JoinKind::kInner;
 
+  /// kJoin: the temporal predicate the join evaluates (default: the
+  /// overlap disjunction). Non-default predicates are inner-only —
+  /// ValidateExecOptions rejects the combination otherwise — and take the
+  /// plan outside snapshot reducibility (the snapshot oracle refuses
+  /// them: a during/meets match is a property of whole intervals, not of
+  /// any single chronon's snapshot).
+  TemporalPredicate join_predicate;
+
   /// kSelect/kProject: one child. kJoin/kDifference: two (left, right).
   std::vector<std::unique_ptr<QueryNode>> children;
 };
@@ -83,6 +91,11 @@ class QueryPlan {
   static QueryPlan Scan(StoredRelation* rel);
   static QueryPlan Join(QueryPlan left, QueryPlan right,
                         JoinKind kind = JoinKind::kInner);
+  /// Predicate-qualified inner join node, e.g.
+  /// `QueryPlan::Join(std::move(l), std::move(r),
+  ///                  TemporalPredicate::Exactly(AllenRelation::kDuring))`.
+  static QueryPlan Join(QueryPlan left, QueryPlan right,
+                        TemporalPredicate predicate);
   /// Union-compatible sequenced set difference left -ᵗ right.
   static QueryPlan Difference(QueryPlan left, QueryPlan right);
 

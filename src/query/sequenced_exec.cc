@@ -165,6 +165,7 @@ class SequencedExecutor {
     req.From(left.rel, right.rel).Using(options_.executor);
     req.options = options_.join;
     req.options.join_kind = node.join_kind;
+    req.options.predicate = node.join_predicate;
     TEMPO_RETURN_IF_ERROR(RunJoin(req, out.rel, ctx_).status());
     TEMPO_RETURN_IF_ERROR(Release(&left));
     TEMPO_RETURN_IF_ERROR(Release(&right));

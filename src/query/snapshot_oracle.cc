@@ -156,6 +156,13 @@ StatusOr<std::vector<Tuple>> SnapshotEval(const QueryNode& node, Chronon t) {
       return out;
     }
     case QueryOp::kJoin: {
+      if (!node.join_predicate.IsOverlapDefault()) {
+        return Status::InvalidArgument(
+            "snapshot oracle: join predicate '" + node.join_predicate.Name() +
+            "' is not snapshot reducible (Allen relations other than the "
+            "overlap disjunction constrain whole intervals, not any single "
+            "chronon's snapshot)");
+      }
       TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> l,
                              SnapshotEval(*node.children[0], t));
       TEMPO_ASSIGN_OR_RETURN(std::vector<Tuple> r,

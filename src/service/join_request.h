@@ -13,7 +13,10 @@ namespace tempo {
 
 /// The evaluation strategies a JoinRequest may name. kAuto defers to the
 /// cost-based planner; the rest force one executor. kReference is the
-/// in-memory oracle (O(|r|*|s|)), kept addressable for verification runs.
+/// in-memory oracle (O(|r|*|s|)), kept addressable for verification runs
+/// and the only executor that evaluates predicates containing
+/// before/after. kSweep is the endpoint-sorted sweep, the only planned
+/// executor for adjacency predicates (meets/met-by).
 enum class JoinExecutor {
   kAuto,
   kNestedLoop,
@@ -22,9 +25,31 @@ enum class JoinExecutor {
   kPartition,
   kReference,
   kInMemoryRadix,
+  kSweep,
 };
 
 const char* JoinExecutorName(JoinExecutor e);
+
+/// The single gatekeeper for executor x join-kind x predicate: returns OK
+/// when the named executor can evaluate `options`, and InvalidArgument
+/// naming all three otherwise. The rules it encodes:
+///
+///  - non-inner kinds (outer/anti) run on the partition executor (kAuto
+///    routes there) or the reference oracle, and only under the default
+///    overlap predicate — the sequenced semantics are defined over
+///    overlapping valid time;
+///  - predicates whose relations all imply a shared chronon (subsets of
+///    the overlap disjunction) are accepted by every executor;
+///  - adjacency predicates (containing meets/met-by but not before/after)
+///    need the sweep executor, the planner (which routes to it), or the
+///    oracle;
+///  - predicates containing before/after match unboundedly separated
+///    tuples and are accepted by the reference oracle only.
+///
+/// RunJoin calls this before dispatch; executors also self-check (their
+/// guards make standalone calls safe), but this is the layer that can
+/// name the requested executor in the error.
+Status ValidateExecOptions(JoinExecutor executor, const ExecOptions& options);
 
 /// One valid-time natural join, described declaratively: which relations,
 /// which executor, and the budget knobs — the single entry point that
@@ -86,11 +111,25 @@ struct JoinRequest {
   }
   /// Selects the sequenced join variant. Non-inner kinds run on the
   /// partition executor (kAuto routes there) or the reference oracle;
-  /// naming any other executor is InvalidArgument. Their output is the
-  /// canonical sequenced result order, so an executor run and an oracle
-  /// run of the same request are byte-identical.
+  /// naming any other executor is InvalidArgument (see
+  /// ValidateExecOptions). Their output is the canonical sequenced result
+  /// order, so an executor run and an oracle run of the same request are
+  /// byte-identical.
   JoinRequest& Kind(JoinKind kind) {
     options.join_kind = kind;
+    return *this;
+  }
+  /// Selects the temporal predicate the join evaluates (default: the
+  /// overlap disjunction). Which executors accept which predicates is
+  /// ValidateExecOptions's contract; kAuto plans within the eligible set.
+  JoinRequest& Predicate(TemporalPredicate predicate) {
+    options.predicate = predicate;
+    return *this;
+  }
+  /// Convenience overload: require exactly one Allen relation, e.g.
+  /// `req.Predicate(AllenRelation::kMeets)`.
+  JoinRequest& Predicate(AllenRelation relation) {
+    options.predicate = TemporalPredicate::Exactly(relation);
     return *this;
   }
 };

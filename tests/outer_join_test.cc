@@ -459,7 +459,7 @@ TEST(OuterJoinValidationTest, NonInnerKindRequiresOverlapAndLastOverlap) {
 
   PartitionJoinOptions wrong_pred;
   wrong_pred.join_kind = JoinKind::kLeftOuter;
-  wrong_pred.predicate = IntervalJoinPredicate::kContains;
+  wrong_pred.predicate = TemporalPredicate::ContainJoin();
   EXPECT_EQ(PartitionVtJoin(r.get(), s.get(), &out, wrong_pred)
                 .status()
                 .code(),

@@ -81,7 +81,7 @@ TEST(PlannerTest, PicksPartitionInPaperRegime) {
   EXPECT_EQ(plan.algorithm, JoinAlgorithm::kPartition);
   // Ranking is complete and sorted; the radix candidate is ineligible at
   // this memory budget (infinite cost), so it ranks last.
-  ASSERT_EQ(plan.candidates.size(), 4u);
+  ASSERT_EQ(plan.candidates.size(), 5u);
   EXPECT_LE(plan.candidates[0].estimated_cost,
             plan.candidates[1].estimated_cost);
   EXPECT_LE(plan.candidates[1].estimated_cost,
@@ -107,7 +107,7 @@ TEST(PlannerTest, PicksRadixWhenBothInputsFitTheBudget) {
   // The radix path ties nested-loops on estimated I/O (one pass over each
   // input) and wins the tie: columnar probing is the better in-memory plan.
   EXPECT_EQ(plan.algorithm, JoinAlgorithm::kInMemoryRadix);
-  ASSERT_EQ(plan.candidates.size(), 4u);
+  ASSERT_EQ(plan.candidates.size(), 5u);
 }
 
 TEST(PlannerTest, ExecuteProducesCorrectResultAndAnnotations) {
@@ -144,6 +144,51 @@ TEST(PlannerTest, AlgorithmNames) {
   EXPECT_STREQ(JoinAlgorithmName(JoinAlgorithm::kPartition), "partition");
   EXPECT_STREQ(JoinAlgorithmName(JoinAlgorithm::kInMemoryRadix),
                "in-memory-radix");
+  EXPECT_STREQ(JoinAlgorithmName(JoinAlgorithm::kSweep), "sweep");
+}
+
+// The predicate-aware ranking: adjacency predicates leave the sweep as
+// the only finite-cost candidate, and ExecuteVtJoin routes to it.
+TEST(PlannerTest, AdjacencyPredicateRoutesToSweep) {
+  Disk disk;
+  Random rng(11);
+  auto r = MakeRelation(&disk, TestSchema(), RandomTuples(rng, 400, 50, 800, 0.1), "r");
+  auto s = MakeRelation(&disk, SSchema(), {}, "s");
+  for (const Tuple& t : RandomTuples(rng, 400, 50, 800, 0.1)) {
+    s->Append(Tuple({t.value(0), t.value(1)}, t.interval())).ok();
+  }
+  TEMPO_ASSERT_OK(s->Flush());
+  VtJoinOptions options;
+  options.buffer_pages = 16;
+  options.predicate = TemporalPredicate::Exactly(AllenRelation::kMeets);
+  JoinPlan plan = PlanVtJoin(r.get(), s.get(), options);
+  EXPECT_EQ(plan.algorithm, JoinAlgorithm::kSweep);
+  ASSERT_EQ(plan.candidates.size(), 5u);
+  EXPECT_TRUE(std::isfinite(plan.candidates.front().estimated_cost));
+  for (size_t i = 1; i < plan.candidates.size(); ++i) {
+    EXPECT_TRUE(std::isinf(plan.candidates[i].estimated_cost));
+  }
+}
+
+// Before/after predicates have no plannable executor at all.
+TEST(PlannerTest, DisjointPredicateIsNotPlannable) {
+  Disk disk;
+  Random rng(12);
+  auto r = MakeRelation(&disk, TestSchema(), RandomTuples(rng, 50, 10, 200, 0.1), "r");
+  auto s = MakeRelation(&disk, SSchema(), {}, "s");
+  for (const Tuple& t : RandomTuples(rng, 50, 10, 200, 0.1)) {
+    s->Append(Tuple({t.value(0), t.value(1)}, t.interval())).ok();
+  }
+  TEMPO_ASSERT_OK(s->Flush());
+  TEMPO_ASSERT_OK_AND_ASSIGN(NaturalJoinLayout layout,
+                             DeriveNaturalJoinLayout(TestSchema(), SSchema()));
+  StoredRelation out(&disk, layout.output, "out");
+  VtJoinOptions options;
+  options.buffer_pages = 16;
+  options.predicate = TemporalPredicate::Exactly(AllenRelation::kBefore);
+  Status st = ExecuteVtJoin(r.get(), s.get(), &out, options).status();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("before"), std::string::npos);
 }
 
 // The planner's estimates should track reality within an order of

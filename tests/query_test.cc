@@ -274,6 +274,54 @@ TEST_F(GoldenPipelineTest, ValidationErrors) {
   EXPECT_EQ(bad_scan.status().code(), StatusCode::kFailedPrecondition);
 }
 
+// Predicate-qualified join nodes run end-to-end through the service
+// facade. σ kept on top to show the node composes like any other join.
+TEST_F(GoldenPipelineTest, PredicateQualifiedJoinNode) {
+  // contain-join: r[V] ⊇ s[V]. Only alice [0,10] ⊇ sales [0,7]
+  // (started-by); the stamp is the intersection.
+  TEMPO_ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      RunSequencedQuery(
+          QueryPlan::Join(QueryPlan::Scan(r_.get()), QueryPlan::Scan(s_.get()),
+                          TemporalPredicate::ContainJoin())
+              .Project({"key", "name"}),
+          &disk_));
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> actual,
+                             result.relation->ReadAll());
+  EXPECT_TRUE(SameTupleMultiset(
+      actual, {Tuple({Value(int64_t{1}), Value(std::string("alice"))},
+                     Interval(0, 7))}));
+}
+
+// An adjacency predicate routes (via the planner) to the sweep executor
+// inside the query pipeline.
+TEST_F(GoldenPipelineTest, AdjacencyPredicateJoinNode) {
+  auto r2 = MakeRelation(&disk_, TestSchema(), {T(7, "lead", 0, 9)}, "r2");
+  auto s2 = MakeRelation(&disk_, SSchema(), {S(7, "next", 10, 20)}, "s2");
+  TEMPO_ASSERT_OK_AND_ASSIGN(
+      QueryResult result,
+      RunSequencedQuery(
+          QueryPlan::Join(QueryPlan::Scan(r2.get()), QueryPlan::Scan(s2.get()),
+                          TemporalPredicate::Exactly(AllenRelation::kMeets)),
+          &disk_));
+  TEMPO_ASSERT_OK_AND_ASSIGN(std::vector<Tuple> actual,
+                             result.relation->ReadAll());
+  EXPECT_TRUE(SameTupleMultiset(actual, {J(7, "lead", "next", 0, 20)}));
+}
+
+// Non-default predicates are outside snapshot reducibility: the snapshot
+// oracle refuses rather than silently checking the wrong semantics.
+TEST_F(GoldenPipelineTest, SnapshotOracleRefusesPredicateJoins) {
+  QueryPlan plan =
+      QueryPlan::Join(QueryPlan::Scan(r_.get()), QueryPlan::Scan(s_.get()),
+                      TemporalPredicate::ContainJoin());
+  Status st = CheckSnapshotReducible(plan.root(), {}, 0, 1);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(std::string(st.message()).find("snapshot reducible"),
+            std::string::npos)
+      << st.ToString();
+}
+
 TEST_F(GoldenPipelineTest, ExplainAnalyzeShowsOperatorTreeAndJoinKind) {
   ExplainOptions opts;
   opts.include_timing = false;

@@ -5,7 +5,9 @@
 
 #include "temporal/allen.h"
 #include "temporal/interval.h"
+#include "temporal/interval_predicate.h"
 #include "temporal/interval_set.h"
+#include "temporal/temporal_predicate.h"
 #include "test_util.h"
 
 namespace tempo {
@@ -197,6 +199,50 @@ TEST(AllenTest, ImpliesOverlapAgreesWithOverlapsExhaustively) {
   }
 }
 
+// Exactly one of the 13 relations holds for any pair. Each relation's
+// definitional condition is coded independently of ClassifyAllen's
+// decision tree, and exactly one condition may fire.
+TEST(AllenTest, ExactlyOneRelationHoldsExhaustively) {
+  constexpr Chronon kHi = 6;
+  for (Chronon as = 0; as <= kHi; ++as) {
+    for (Chronon ae = as; ae <= kHi; ++ae) {
+      for (Chronon bs = 0; bs <= kHi; ++bs) {
+        for (Chronon be = bs; be <= kHi; ++be) {
+          const Interval a(as, ae), b(bs, be);
+          const std::vector<std::pair<AllenRelation, bool>> defs = {
+              {AllenRelation::kBefore, ae + 1 < bs},
+              {AllenRelation::kMeets, ae + 1 == bs},
+              {AllenRelation::kOverlaps, as < bs && bs <= ae && ae < be},
+              {AllenRelation::kFinishedBy, as < bs && ae == be},
+              {AllenRelation::kContains, as < bs && be < ae},
+              {AllenRelation::kStarts, as == bs && ae < be},
+              {AllenRelation::kEquals, as == bs && ae == be},
+              {AllenRelation::kStartedBy, as == bs && be < ae},
+              {AllenRelation::kDuring, bs < as && ae < be},
+              {AllenRelation::kFinishes, bs < as && ae == be},
+              {AllenRelation::kOverlappedBy,
+               bs < as && as <= be && be < ae},
+              {AllenRelation::kMetBy, be + 1 == as},
+              {AllenRelation::kAfter, be + 1 < as},
+          };
+          int fired = 0;
+          AllenRelation expected = AllenRelation::kEquals;
+          for (const auto& [rel, holds] : defs) {
+            if (holds) {
+              ++fired;
+              expected = rel;
+            }
+          }
+          ASSERT_EQ(fired, 1)
+              << a.ToString() << " vs " << b.ToString();
+          EXPECT_EQ(ClassifyAllen(a, b), expected)
+              << a.ToString() << " vs " << b.ToString();
+        }
+      }
+    }
+  }
+}
+
 TEST(AllenTest, NamesAreUniqueAndNonNull) {
   std::set<std::string> names;
   for (int i = 0; i <= static_cast<int>(AllenRelation::kAfter); ++i) {
@@ -205,6 +251,150 @@ TEST(AllenTest, NamesAreUniqueAndNonNull) {
     EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
   }
   EXPECT_EQ(names.size(), 13u);
+}
+
+// ---------------------------------------------------------------------
+// TemporalPredicate
+// ---------------------------------------------------------------------
+
+TEST(TemporalPredicateTest, DefaultIsTheNineRelationOverlapDisjunction) {
+  const TemporalPredicate pred;
+  EXPECT_TRUE(pred.IsOverlapDefault());
+  EXPECT_EQ(pred, TemporalPredicate::Overlap());
+  int members = 0;
+  for (int i = 0; i <= static_cast<int>(AllenRelation::kAfter); ++i) {
+    const auto r = static_cast<AllenRelation>(i);
+    if (pred.Test(r)) ++members;
+    EXPECT_EQ(pred.Test(r), ImpliesOverlap(r)) << AllenRelationName(r);
+  }
+  EXPECT_EQ(members, 9);
+}
+
+TEST(TemporalPredicateTest, MatchesAgreesWithClassifyExhaustively) {
+  constexpr Chronon kHi = 5;
+  const std::vector<TemporalPredicate> preds = {
+      TemporalPredicate::Overlap(),
+      TemporalPredicate::ContainJoin(),
+      TemporalPredicate::ContainedJoin(),
+      TemporalPredicate::EqualJoin(),
+      TemporalPredicate::Exactly(AllenRelation::kMeets),
+      TemporalPredicate::AnyOf(
+          {AllenRelation::kBefore, AllenRelation::kAfter}),
+  };
+  for (Chronon as = 0; as <= kHi; ++as) {
+    for (Chronon ae = as; ae <= kHi; ++ae) {
+      for (Chronon bs = 0; bs <= kHi; ++bs) {
+        for (Chronon be = bs; be <= kHi; ++be) {
+          const Interval a(as, ae), b(bs, be);
+          for (const TemporalPredicate& p : preds) {
+            EXPECT_EQ(p.Matches(a, b), p.Test(ClassifyAllen(a, b)))
+                << p.Name() << " on " << a.ToString() << " vs "
+                << b.ToString();
+          }
+        }
+      }
+    }
+  }
+}
+
+// The legacy leaf enum embeds losslessly: FromJoinPredicate agrees with
+// EvalIntervalPredicate on every pair of a small exhaustive grid.
+TEST(TemporalPredicateTest, FromJoinPredicateMatchesLegacyEval) {
+  constexpr Chronon kHi = 5;
+  const std::vector<IntervalJoinPredicate> legacy = {
+      IntervalJoinPredicate::kOverlap, IntervalJoinPredicate::kContains,
+      IntervalJoinPredicate::kContainedIn, IntervalJoinPredicate::kEqual};
+  for (Chronon as = 0; as <= kHi; ++as) {
+    for (Chronon ae = as; ae <= kHi; ++ae) {
+      for (Chronon bs = 0; bs <= kHi; ++bs) {
+        for (Chronon be = bs; be <= kHi; ++be) {
+          const Interval a(as, ae), b(bs, be);
+          for (IntervalJoinPredicate lp : legacy) {
+            EXPECT_EQ(
+                TemporalPredicate::FromJoinPredicate(lp).Matches(a, b),
+                EvalIntervalPredicate(lp, a, b))
+                << static_cast<int>(lp) << " on " << a.ToString() << " vs "
+                << b.ToString();
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TemporalPredicateTest, TaxonomyClassification) {
+  EXPECT_TRUE(TemporalPredicate::Overlap().ImpliesSharedChronon());
+  EXPECT_TRUE(TemporalPredicate::ContainJoin().ImpliesSharedChronon());
+  EXPECT_TRUE(TemporalPredicate::EqualJoin().ImpliesSharedChronon());
+  EXPECT_FALSE(TemporalPredicate::Overlap().NeedsAdjacency());
+  EXPECT_FALSE(TemporalPredicate::Overlap().HasDisjointNonAdjacent());
+
+  const auto meets = TemporalPredicate::Exactly(AllenRelation::kMeets);
+  EXPECT_FALSE(meets.ImpliesSharedChronon());
+  EXPECT_TRUE(meets.NeedsAdjacency());
+  EXPECT_FALSE(meets.HasDisjointNonAdjacent());
+
+  const auto before = TemporalPredicate::Exactly(AllenRelation::kBefore);
+  EXPECT_FALSE(before.ImpliesSharedChronon());
+  EXPECT_FALSE(before.NeedsAdjacency());
+  EXPECT_TRUE(before.HasDisjointNonAdjacent());
+
+  const auto mixed = TemporalPredicate::AnyOf(
+      {AllenRelation::kMeets, AllenRelation::kDuring});
+  EXPECT_FALSE(mixed.ImpliesSharedChronon());
+  EXPECT_TRUE(mixed.NeedsAdjacency());
+  EXPECT_FALSE(mixed.HasDisjointNonAdjacent());
+}
+
+TEST(TemporalPredicateTest, NameParseRoundTrips) {
+  const std::vector<TemporalPredicate> preds = {
+      TemporalPredicate::Overlap(),
+      TemporalPredicate::ContainJoin(),
+      TemporalPredicate::ContainedJoin(),
+      TemporalPredicate::EqualJoin(),
+      TemporalPredicate::Exactly(AllenRelation::kMeets),
+      TemporalPredicate::Exactly(AllenRelation::kBefore),
+      TemporalPredicate::AnyOf(
+          {AllenRelation::kMeets, AllenRelation::kMetBy}),
+      TemporalPredicate::AnyOf({AllenRelation::kStarts,
+                                AllenRelation::kEquals,
+                                AllenRelation::kFinishes}),
+  };
+  for (const TemporalPredicate& p : preds) {
+    auto parsed = TemporalPredicate::Parse(p.Name());
+    ASSERT_TRUE(parsed.has_value()) << p.Name();
+    EXPECT_EQ(*parsed, p) << p.Name();
+  }
+  // Bare Allen relation names parse to their singleton predicates.
+  for (int i = 0; i <= static_cast<int>(AllenRelation::kAfter); ++i) {
+    const auto r = static_cast<AllenRelation>(i);
+    auto parsed = TemporalPredicate::Parse(AllenRelationName(r));
+    ASSERT_TRUE(parsed.has_value()) << AllenRelationName(r);
+    EXPECT_EQ(*parsed, TemporalPredicate::Exactly(r));
+  }
+  EXPECT_FALSE(TemporalPredicate::Parse("").has_value());
+  EXPECT_FALSE(TemporalPredicate::Parse("sideways").has_value());
+  EXPECT_FALSE(TemporalPredicate::Parse("meets|sideways").has_value());
+}
+
+TEST(TemporalPredicateTest, FromMaskValidates) {
+  EXPECT_FALSE(TemporalPredicate::FromMask(0).has_value());
+  EXPECT_FALSE(TemporalPredicate::FromMask(0x2000).has_value());
+  auto overlap =
+      TemporalPredicate::FromMask(TemporalPredicate::Overlap().mask());
+  ASSERT_TRUE(overlap.has_value());
+  EXPECT_TRUE(overlap->IsOverlapDefault());
+}
+
+TEST(TemporalPredicateTest, ResultIntervalIsIntersectionElseSpan) {
+  // Shared chronons: the paper's overlap stamp.
+  EXPECT_EQ(PredicateResultInterval(Interval(0, 10), Interval(5, 20)),
+            Interval(5, 10));
+  // Adjacent or disjoint: the covering span.
+  EXPECT_EQ(PredicateResultInterval(Interval(0, 4), Interval(5, 9)),
+            Interval(0, 9));
+  EXPECT_EQ(PredicateResultInterval(Interval(20, 30), Interval(0, 1)),
+            Interval(0, 30));
 }
 
 // ---------------------------------------------------------------------
