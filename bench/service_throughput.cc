@@ -12,6 +12,7 @@
 // admission queue peak — all timing-dependent, named so the regression
 // gate skips them as volatile.
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -144,6 +145,35 @@ int Run() {
   out.Add("service", "p99_admission_wait_us", ApproxQuantile(wait, 0.99));
   out.Add("service", "admission_queue_peak",
           metrics.Get(Metric::kAdmissionQueuePeak));
+
+  // Telemetry side outputs (enabled via TEMPO_TELEMETRY_OUT /
+  // TEMPO_SLOW_QUERY_MS / TEMPO_FLIGHT_OUT). The bench keys below are all
+  // named to match IsVolatileBenchKey, so a telemetry-enabled run stays
+  // comparable against the committed telemetry-off baselines.
+  if (service->sampler() != nullptr) {
+    out.Add("service", "telemetry_samples",
+            static_cast<double>(service->sampler()->ticks()));
+  }
+  if (service->telemetry_config().enabled()) {
+    out.Add("service", "flight_events_appended",
+            static_cast<double>(service->flight()->events_appended()));
+    out.Add("service", "slow_queries_logged",
+            static_cast<double>(service->slow_queries_logged()));
+  }
+  const std::string& jsonl_path = service->telemetry_config().jsonl_path;
+  if (!jsonl_path.empty()) {
+    // One Prometheus text-exposition scrape next to the JSONL stream.
+    const std::string prom_path = jsonl_path + ".prom";
+    std::ofstream prom(prom_path, std::ios::binary | std::ios::trunc);
+    prom << service->RenderPrometheusText();
+    prom.flush();
+    if (prom) {
+      std::printf("telemetry: JSONL at %s, Prometheus exposition at %s\n",
+                  jsonl_path.c_str(), prom_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", prom_path.c_str());
+    }
+  }
 
   std::printf(
       "%d queries in %.3f s — %.1f queries/sec\n"

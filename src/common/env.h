@@ -6,6 +6,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <string>
+
+#include "common/statusor.h"
 
 namespace tempo {
 
@@ -32,6 +35,32 @@ inline uint64_t EnvStrictUint64(
                  "decimal integer); using %llu\n",
                  name, env, static_cast<unsigned long long>(fallback));
     return fallback;
+  }
+  return static_cast<uint64_t>(v);
+}
+
+/// Error-returning variant of the strict parser for knobs where a
+/// malformed value must fail the caller instead of falling back (the
+/// telemetry knobs: a typo'd TEMPO_SLOW_QUERY_MS silently logging nothing
+/// would defeat the point of setting it). Unset or empty returns
+/// `fallback`; anything else must be a whole decimal integer in
+/// [min, max] or the result is InvalidArgument naming the variable and
+/// the offending value. `min` may be 0 (TEMPO_SLOW_QUERY_MS=0 means "log
+/// every query").
+inline StatusOr<uint64_t> EnvStrictUint64Or(
+    const char* name, uint64_t fallback, uint64_t min = 1,
+    uint64_t max = static_cast<uint64_t>(
+        std::numeric_limits<long long>::max())) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || v < 0 ||
+      static_cast<uint64_t>(v) < min || static_cast<uint64_t>(v) > max) {
+    return Status::InvalidArgument(
+        std::string(name) + "=\"" + env + "\" is not a decimal integer in [" +
+        std::to_string(min) + ", " + std::to_string(max) + "]");
   }
   return static_cast<uint64_t>(v);
 }

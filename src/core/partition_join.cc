@@ -711,8 +711,13 @@ StatusOr<JoinRunStats> RunPartitionPass(StoredRelation* r, StoredRelation* s,
       // r's charged I/O must land on the same per-query ledger as the
       // coordinator's, not on the disk's base accountant.
       IoAccountant* bound = disk->BoundAccountant();
-      std::thread r_thread([&, bound] {
+      MorselProgress* progress = ScopedMorselProgress::Current();
+      std::thread r_thread([&, bound, progress] {
         ScopedAccountantBinding rebind(disk, bound);
+        // Like the accountant, the query's live morsel counter is a
+        // per-thread binding: rebind it so r's regions count toward the
+        // same query's Progress().
+        ScopedMorselProgress reprogress(progress);
         TraceSpan r_span =
             SpanUnderIf(ctx, root_span, Phase::kPartitionR);
         pr_or = GracePartition(r, plan.spec, options.buffer_pages,

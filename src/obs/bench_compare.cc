@@ -39,12 +39,19 @@ constexpr const char* kIdentityKeys[] = {"scale", "threads", "seed",
 bool IsVolatileBenchKey(std::string_view key) {
   // "queue" covers the service's admission-queue depth/peak values, which
   // depend on how far submission outruns completion — scheduling, not
-  // correctness.
+  // correctness. The telemetry keys ("telemetry_*" sampler tallies, "ts_"
+  // timestamps, slow-query and flight-event counts) are wall-clock
+  // functions of the sampler period and query latency, so a report that
+  // carries them stays comparable against a pre-telemetry baseline.
+  // Deliberately NOT matched: "samples" (the paper's seeded Kolmogorov
+  // sampler draw count, a deterministic gated key in the fig4 baseline).
   return Contains(key, "wall") || Contains(key, "second") ||
          Contains(key, "time") || Contains(key, "latency") ||
          Contains(key, "efficiency") || EndsWith(key, "_ns") ||
          EndsWith(key, "_us") || Contains(key, "iterations") ||
-         Contains(key, "queue");
+         Contains(key, "queue") || Contains(key, "telemetry") ||
+         Contains(key, "ts_") || Contains(key, "slow_quer") ||
+         Contains(key, "flight_events");
 }
 
 StatusOr<BenchCompareResult> CompareBenchReports(

@@ -240,4 +240,16 @@ Status MaybeWriteTraceFromEnv(const ExecContext& ctx,
   return WriteTraceFile(ctx, path, options);
 }
 
+std::string PerQueryTracePath(const std::string& base, uint64_t query_id) {
+  const std::string suffix = ".q" + std::to_string(query_id);
+  const size_t dot = base.rfind('.');
+  const size_t slash = base.find_last_of('/');
+  // A dot inside a directory component ("./trace") is not an extension.
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + suffix;
+  }
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
 }  // namespace tempo

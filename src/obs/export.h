@@ -66,6 +66,13 @@ std::string TraceOutPath();
 Status WriteTraceFile(const ExecContext& ctx, const std::string& path,
                       const TraceExportOptions& options = {});
 
+/// Derives the per-query trace path the concurrent service writes under
+/// one TEMPO_TRACE_OUT setting: inserts ".q<query_id>" before the file
+/// extension ("trace.json" -> "trace.q7.json"; extensionless paths get
+/// the suffix appended), so N concurrent queries produce N trace files
+/// instead of clobbering a single one.
+std::string PerQueryTracePath(const std::string& base, uint64_t query_id);
+
 /// Writes the trace to TraceOutPath() if the env var is set; returns the
 /// write status (OK when the env var is unset — the common no-export
 /// path costs one getenv).

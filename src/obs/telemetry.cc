@@ -1,0 +1,504 @@
+#include "obs/telemetry.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/env.h"
+#include "obs/trace.h"
+
+namespace tempo {
+
+// ---------------------------------------------------------------------
+// Gauges
+// ---------------------------------------------------------------------
+
+const std::vector<GaugeDef>& AllGaugeDefs() {
+  static const std::vector<GaugeDef> defs = {
+#define TEMPO_GAUGE_DEF(id, name, unit, owner, doc) \
+  GaugeDef{Gauge::k##id, name, unit, owner, doc},
+      TEMPO_GAUGE_LIST(TEMPO_GAUGE_DEF)
+#undef TEMPO_GAUGE_DEF
+  };
+  return defs;
+}
+
+const GaugeDef& GetGaugeDef(Gauge g) {
+  return AllGaugeDefs()[static_cast<size_t>(g)];
+}
+
+std::string DescribeGauges() {
+  std::string out;
+  out += "| Gauge | Unit | Sampled from | Description |\n";
+  out += "|-------|------|--------------|-------------|\n";
+  for (const GaugeDef& def : AllGaugeDefs()) {
+    out += "| `";
+    out += def.name;
+    out += "` | ";
+    out += def.unit;
+    out += " | ";
+    out += def.owner;
+    out += " | ";
+    out += def.doc;
+    out += " |\n";
+  }
+  return out;
+}
+
+Json GaugeSnapshot::ToJson() const {
+  Json j = Json::Object();
+  for (const GaugeDef& def : AllGaugeDefs()) {
+    j.Set(def.name, Get(def.id));
+  }
+  return j;
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+const char* FlightEventKindName(FlightEventKind k) {
+  switch (k) {
+    case FlightEventKind::kQuerySubmitted:
+      return "query submitted";
+    case FlightEventKind::kQueryRejected:
+      return "query rejected";
+    case FlightEventKind::kQueryAdmitted:
+      return "query admitted";
+    case FlightEventKind::kQueryCancelled:
+      return "query cancelled";
+    case FlightEventKind::kQueryFinished:
+      return "query finished";
+    case FlightEventKind::kAdmissionGranted:
+      return "admission granted";
+    case FlightEventKind::kAdmissionReleased:
+      return "admission released";
+    case FlightEventKind::kPhaseEntered:
+      return "phase entered";
+    case FlightEventKind::kExecutorFallback:
+      return "executor fallback";
+    case FlightEventKind::kSlowQuery:
+      return "slow query";
+  }
+  return "?";
+}
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 16;
+  while (p < n && p < (size_t{1} << 31)) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : slots_(RoundUpPow2(capacity)),
+      mask_(slots_.size() - 1),
+      birth_(std::chrono::steady_clock::now()) {}
+
+int64_t FlightRecorder::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - birth_)
+      .count();
+}
+
+void FlightRecorder::Append(FlightEventKind kind, uint64_t query_id,
+                            uint64_t arg, uint8_t detail) {
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq & mask_];
+  // Invalidate first so a concurrent reader never pairs the old seq with
+  // the new fields, then publish the new seq with release ordering.
+  slot.seq.store(0, std::memory_order_relaxed);
+  slot.ts_us.store(NowUs(), std::memory_order_relaxed);
+  slot.query_id.store(query_id, std::memory_order_relaxed);
+  slot.arg.store(arg, std::memory_order_relaxed);
+  slot.kind.store(static_cast<uint8_t>(kind), std::memory_order_relaxed);
+  slot.detail.store(detail, std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_release);
+}
+
+Json FlightRecorder::DumpJson() const {
+  const uint64_t appended = next_.load(std::memory_order_acquire);
+  const uint64_t window = std::min<uint64_t>(appended, slots_.size());
+  const uint64_t first = appended - window;
+
+  Json events = Json::Array();
+  for (uint64_t seq = first; seq < appended; ++seq) {
+    const Slot& slot = slots_[seq & mask_];
+    if (slot.seq.load(std::memory_order_acquire) != seq + 1) {
+      continue;  // being overwritten by a racing append
+    }
+    const auto kind =
+        static_cast<FlightEventKind>(slot.kind.load(std::memory_order_relaxed));
+    const uint8_t detail = slot.detail.load(std::memory_order_relaxed);
+    const int64_t ts = slot.ts_us.load(std::memory_order_relaxed);
+    const uint64_t query = slot.query_id.load(std::memory_order_relaxed);
+    const uint64_t arg = slot.arg.load(std::memory_order_relaxed);
+    // Re-validate: if the slot was recycled mid-read the fields above may
+    // belong to a newer event — drop it rather than emit a torn record.
+    if (slot.seq.load(std::memory_order_acquire) != seq + 1) continue;
+
+    Json e = Json::Object();
+    if (kind == FlightEventKind::kPhaseEntered) {
+      e.Set("name", std::string("phase ") +
+                        PhaseName(static_cast<Phase>(detail)));
+    } else {
+      e.Set("name", FlightEventKindName(kind));
+    }
+    e.Set("cat", "flight");
+    e.Set("ph", "i");
+    e.Set("ts", ts);
+    e.Set("pid", 1);
+    e.Set("tid", 1);
+    e.Set("s", "g");
+    Json args = Json::Object();
+    args.Set("seq", seq);
+    args.Set("query", query);
+    if (arg != 0) args.Set("arg", arg);
+    e.Set("args", std::move(args));
+    events.Append(std::move(e));
+  }
+
+  Json doc = Json::Object();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", "ms");
+  doc.Set("schema_version", 1);
+  doc.Set("events_appended", appended);
+  doc.Set("dropped_events", first);
+  return doc;
+}
+
+Status FlightRecorder::DumpFile(const std::string& path) const {
+  const std::string text = DumpJson().Dump(2) + "\n";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open flight-recorder dump file: " + path);
+  }
+  out << text;
+  out.flush();
+  if (!out) {
+    return Status::Internal("short write to flight-recorder dump file: " +
+                            path);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// --- async-signal-safe formatting helpers ----------------------------
+
+void SafeWrite(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void SafeWriteStr(int fd, const char* s) { SafeWrite(fd, s, std::strlen(s)); }
+
+void SafeWriteU64(int fd, uint64_t v) {
+  char buf[21];
+  char* p = buf + sizeof(buf);
+  *--p = '\0';
+  if (v == 0) {
+    *--p = '0';
+  } else {
+    while (v != 0) {
+      *--p = static_cast<char>('0' + v % 10);
+      v /= 10;
+    }
+  }
+  SafeWriteStr(fd, p);
+}
+
+void SafeWriteI64(int fd, int64_t v) {
+  if (v < 0) {
+    SafeWriteStr(fd, "-");
+    SafeWriteU64(fd, static_cast<uint64_t>(-v));
+  } else {
+    SafeWriteU64(fd, static_cast<uint64_t>(v));
+  }
+}
+
+}  // namespace
+
+void FlightRecorder::DumpToFdSignalSafe(int fd) const {
+  const uint64_t appended = next_.load(std::memory_order_acquire);
+  const uint64_t window =
+      appended < slots_.size() ? appended : slots_.size();
+  const uint64_t first = appended - window;
+
+  SafeWriteStr(fd, "{\"traceEvents\":[");
+  bool any = false;
+  for (uint64_t seq = first; seq < appended; ++seq) {
+    const Slot& slot = slots_[seq & mask_];
+    if (slot.seq.load(std::memory_order_acquire) != seq + 1) continue;
+    const auto kind =
+        static_cast<FlightEventKind>(slot.kind.load(std::memory_order_relaxed));
+    const uint8_t detail = slot.detail.load(std::memory_order_relaxed);
+    const int64_t ts = slot.ts_us.load(std::memory_order_relaxed);
+    const uint64_t query = slot.query_id.load(std::memory_order_relaxed);
+    const uint64_t arg = slot.arg.load(std::memory_order_relaxed);
+    if (slot.seq.load(std::memory_order_acquire) != seq + 1) continue;
+
+    if (any) SafeWriteStr(fd, ",");
+    any = true;
+    SafeWriteStr(fd, "{\"name\":\"");
+    if (kind == FlightEventKind::kPhaseEntered) {
+      SafeWriteStr(fd, "phase ");
+      SafeWriteStr(fd, PhaseName(static_cast<Phase>(detail)));
+    } else {
+      SafeWriteStr(fd, FlightEventKindName(kind));
+    }
+    SafeWriteStr(fd, "\",\"cat\":\"flight\",\"ph\":\"i\",\"ts\":");
+    SafeWriteI64(fd, ts);
+    SafeWriteStr(fd, ",\"pid\":1,\"tid\":1,\"s\":\"g\",\"args\":{\"seq\":");
+    SafeWriteU64(fd, seq);
+    SafeWriteStr(fd, ",\"query\":");
+    SafeWriteU64(fd, query);
+    SafeWriteStr(fd, ",\"arg\":");
+    SafeWriteU64(fd, arg);
+    SafeWriteStr(fd, "}}");
+  }
+  SafeWriteStr(fd, "],\"displayTimeUnit\":\"ms\",\"schema_version\":1,"
+                   "\"events_appended\":");
+  SafeWriteU64(fd, appended);
+  SafeWriteStr(fd, ",\"dropped_events\":");
+  SafeWriteU64(fd, first);
+  SafeWriteStr(fd, "}\n");
+}
+
+namespace {
+
+// Fatal-signal dump state. The recorder pointer is swapped atomically;
+// the path lives in a fixed buffer so the handler never allocates.
+std::atomic<FlightRecorder*> g_signal_recorder{nullptr};
+char g_signal_path[512] = {0};
+
+void FlightSignalHandler(int signo) {
+  FlightRecorder* recorder =
+      g_signal_recorder.load(std::memory_order_acquire);
+  if (recorder != nullptr && g_signal_path[0] != '\0') {
+    const int fd = ::open(g_signal_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      recorder->DumpToFdSignalSafe(fd);
+      ::close(fd);
+    }
+  }
+  // Restore the default disposition and re-raise so the process still
+  // dies with the original signal (core dumps, exit codes unchanged).
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace
+
+void FlightRecorder::InstallFatalSignalDump(FlightRecorder* recorder,
+                                            const std::string& path) {
+  if (recorder == nullptr || path.empty()) {
+    g_signal_recorder.store(nullptr, std::memory_order_release);
+    return;
+  }
+  std::snprintf(g_signal_path, sizeof(g_signal_path), "%s", path.c_str());
+  g_signal_recorder.store(recorder, std::memory_order_release);
+  static bool installed = [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = &FlightSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESETHAND;
+    for (int signo : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
+      ::sigaction(signo, &sa, nullptr);
+    }
+    return true;
+  }();
+  (void)installed;
+}
+
+// ---------------------------------------------------------------------
+// TelemetrySink
+// ---------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<TelemetrySink>> TelemetrySink::Open(
+    const std::string& path) {
+  std::unique_ptr<TelemetrySink> sink(new TelemetrySink(path));
+  sink->out_.open(path, std::ios::binary | std::ios::app);
+  if (!sink->out_) {
+    return Status::Internal("cannot open telemetry output file: " + path);
+  }
+  return sink;
+}
+
+Status TelemetrySink::Append(const Json& record) {
+  const std::string line = record.Dump() + "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line;
+  out_.flush();
+  if (!out_) {
+    return Status::Internal("short write to telemetry output file: " + path_);
+  }
+  records_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// MetricsSampler
+// ---------------------------------------------------------------------
+
+MetricsSampler::MetricsSampler(uint64_t period_ms, TelemetrySink* sink,
+                               SampleFn fn)
+    : period_ms_(period_ms == 0 ? 1 : period_ms),
+      sink_(sink),
+      fn_(std::move(fn)),
+      birth_(std::chrono::steady_clock::now()) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  SampleNow();  // final sample: short runs still produce >= 1 record
+}
+
+void MetricsSampler::SampleNow() {
+  Json sample = fn_();
+  sample.Set("type", "sample");
+  sample.Set("seq", ticks_.fetch_add(1, std::memory_order_relaxed));
+  sample.Set("ts_us",
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now() - birth_)
+                 .count());
+  if (sink_ != nullptr) (void)sink_->Append(sample);
+}
+
+void MetricsSampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                     [this] { return stop_; })) {
+      break;
+    }
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------
+
+namespace {
+
+void AppendHelpType(std::string* out, const std::string& name,
+                    const char* doc, const char* type) {
+  *out += "# HELP " + name + " ";
+  // The exposition format escapes backslash and newline in HELP text;
+  // the declared docs contain neither, but stay correct if one ever does.
+  for (const char* p = doc; *p != '\0'; ++p) {
+    if (*p == '\\') {
+      *out += "\\\\";
+    } else if (*p == '\n') {
+      *out += "\\n";
+    } else {
+      *out += *p;
+    }
+  }
+  *out += "\n# TYPE " + name + " ";
+  *out += type;
+  *out += "\n";
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const MetricsRegistry& metrics,
+                             const GaugeSnapshot* gauges) {
+  std::string out;
+  if (gauges != nullptr) {
+    for (const GaugeDef& def : AllGaugeDefs()) {
+      const std::string name = std::string("tempo_") + def.name;
+      AppendHelpType(&out, name, def.doc, "gauge");
+      out += name + " " + JsonNumberToString(gauges->Get(def.id)) + "\n";
+    }
+  }
+  metrics.ForEach([&](const MetricDef& def, double value) {
+    const std::string name = std::string("tempo_") + def.name;
+    AppendHelpType(&out, name, def.doc, "gauge");
+    out += name + " " + JsonNumberToString(value) + "\n";
+  });
+  metrics.ForEachHistogram([&](const HistogramDef& def,
+                               const LogHistogram& hist) {
+    const std::string name = std::string("tempo_") + def.name;
+    AppendHelpType(&out, name, def.doc, "histogram");
+    // Prometheus buckets are cumulative; the log buckets are not. Empty
+    // finite buckets are elided (sparse expositions are legal); the +Inf
+    // bucket below always carries the total.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i + 1 < LogHistogram::kNumBuckets; ++i) {
+      const uint64_t n = hist.bucket_count(i);
+      if (n == 0) continue;
+      cumulative += n;
+      out += name + "_bucket{le=\"";
+      out += JsonNumberToString(LogHistogram::BucketUpperBound(i));
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(hist.count()) +
+           "\n";
+    out += name + "_sum " + JsonNumberToString(hist.sum()) + "\n";
+    out += name + "_count " + std::to_string(hist.count()) + "\n";
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// TelemetryConfig
+// ---------------------------------------------------------------------
+
+StatusOr<TelemetryConfig> TelemetryConfig::FromEnv() {
+  TelemetryConfig config;
+  const char* out = std::getenv("TEMPO_TELEMETRY_OUT");
+  if (out != nullptr && *out != '\0') config.jsonl_path = out;
+  TEMPO_ASSIGN_OR_RETURN(
+      config.sampler_period_ms,
+      EnvStrictUint64Or("TEMPO_TELEMETRY_PERIOD_MS",
+                        config.sampler_period_ms, 1, 3600 * 1000));
+  const char* slow = std::getenv("TEMPO_SLOW_QUERY_MS");
+  if (slow != nullptr && *slow != '\0') {
+    TEMPO_ASSIGN_OR_RETURN(
+        config.slow_query_ms,
+        EnvStrictUint64Or("TEMPO_SLOW_QUERY_MS", 0, 0,
+                          std::numeric_limits<int64_t>::max()));
+    config.slow_query_log = true;
+  }
+  const char* flight = std::getenv("TEMPO_FLIGHT_OUT");
+  if (flight != nullptr && *flight != '\0') config.flight_path = flight;
+  TEMPO_ASSIGN_OR_RETURN(
+      config.flight_events,
+      EnvStrictUint64Or("TEMPO_FLIGHT_EVENTS", config.flight_events, 16,
+                        uint64_t{1} << 22));
+  return config;
+}
+
+}  // namespace tempo

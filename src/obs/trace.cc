@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/telemetry.h"
+
 namespace tempo {
 
 namespace {
@@ -154,7 +156,17 @@ SpanNode* Tracer::Begin(Phase phase, std::string label,
     ++node->stats.entered;
   }
   t_span_stack.emplace_back(this, node);
+  live_phase_.store(static_cast<uint8_t>(phase), std::memory_order_relaxed);
+  if (FlightRecorder* flight = flight_.load(std::memory_order_acquire)) {
+    flight->Append(FlightEventKind::kPhaseEntered, flight_query_, 0,
+                   static_cast<uint8_t>(phase));
+  }
   return node;
+}
+
+void Tracer::SetFlightRecorder(FlightRecorder* recorder, uint64_t query_id) {
+  flight_query_ = query_id;
+  flight_.store(recorder, std::memory_order_release);
 }
 
 void Tracer::End(SpanNode* node, double wall_seconds, const IoStats& io,

@@ -1,6 +1,7 @@
 #ifndef TEMPO_OBS_TRACE_H_
 #define TEMPO_OBS_TRACE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -16,6 +17,7 @@
 
 namespace tempo {
 
+class FlightRecorder;
 class IoAccountant;
 
 /// Execution phases an executor may open a span for. One enumerator per
@@ -148,6 +150,20 @@ class Tracer {
   /// while any span was open.
   IoStats TotalIo() const;
 
+  /// Wires every Begin to a service flight recorder: each opened span
+  /// appends a kPhaseEntered event tagged with `query_id`. Set before
+  /// execution starts (the query service sets it on each per-query
+  /// context); null detaches. Also arms live_phase() below.
+  void SetFlightRecorder(FlightRecorder* recorder, uint64_t query_id);
+
+  /// Most recently entered phase, as a Phase value, or kNoLivePhase when
+  /// no span has begun. A relaxed-atomic read, safe concurrently with
+  /// execution — this is the "phase" field of QueryHandle::Progress().
+  static constexpr uint8_t kNoLivePhase = 0xff;
+  uint8_t live_phase() const {
+    return live_phase_.load(std::memory_order_relaxed);
+  }
+
  private:
   SpanNode* FindOrCreateChildLocked(SpanNode* parent, Phase phase,
                                     const std::string& label);
@@ -156,6 +172,11 @@ class Tracer {
   mutable std::mutex mu_;
   std::unique_ptr<SpanNode> root_;
   std::unordered_map<uint8_t, double> pending_estimates_;
+
+  /// Flight hook: set once before execution, read by Begin on any thread.
+  std::atomic<FlightRecorder*> flight_{nullptr};
+  uint64_t flight_query_ = 0;  // written before the recorder is attached
+  std::atomic<uint8_t> live_phase_{kNoLivePhase};
 };
 
 /// RAII handle for one span. Move-only; inert when default-constructed or

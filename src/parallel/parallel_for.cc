@@ -14,7 +14,18 @@ double Seconds(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
 }
 
+thread_local MorselProgress* t_morsel_progress = nullptr;
+
 }  // namespace
+
+ScopedMorselProgress::ScopedMorselProgress(MorselProgress* progress)
+    : prev_(t_morsel_progress) {
+  if (progress != nullptr) t_morsel_progress = progress;
+}
+
+ScopedMorselProgress::~ScopedMorselProgress() { t_morsel_progress = prev_; }
+
+MorselProgress* ScopedMorselProgress::Current() { return t_morsel_progress; }
 
 Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
                    const std::function<Status(size_t morsel, size_t begin,
@@ -23,6 +34,13 @@ Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
   if (n == 0) return Status::OK();
   if (morsel_size == 0) morsel_size = 1;
   const size_t num_morsels = (n + morsel_size - 1) / morsel_size;
+
+  // Capture the dispatching thread's live-progress binding now: the
+  // morsel bodies run on pool workers, which have no binding of their own.
+  MorselProgress* progress = ScopedMorselProgress::Current();
+  if (progress != nullptr) {
+    progress->total.fetch_add(num_morsels, std::memory_order_relaxed);
+  }
 
   const Clock::time_point wall_start = Clock::now();
 
@@ -43,6 +61,9 @@ Status ParallelFor(ThreadPool* pool, size_t n, size_t morsel_size,
         const double spent = Seconds(t0, Clock::now());
         const int worker = ThreadPool::CurrentWorkerIndex();
         const size_t slot = worker < 0 ? 0 : static_cast<size_t>(worker);
+        if (progress != nullptr) {
+          progress->completed.fetch_add(1, std::memory_order_relaxed);
+        }
         if (stats != nullptr) stats->duration_hist.Record(spent * 1e6);
         std::lock_guard<std::mutex> lock(mu);
         busy += spent;

@@ -1,6 +1,7 @@
 #ifndef TEMPO_PARALLEL_PARALLEL_FOR_H_
 #define TEMPO_PARALLEL_PARALLEL_FOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -69,6 +70,37 @@ struct MorselStats {
     if (num_threads == 0 || wall_seconds <= 0.0) return 1.0;
     return busy_seconds / (wall_seconds * static_cast<double>(num_threads));
   }
+};
+
+/// Live morsel counters of one query, readable concurrently with
+/// execution (QueryHandle::Progress). ParallelFor adds a region's morsel
+/// count to `total` at dispatch and bumps `completed` as each morsel body
+/// returns, so completed/total reflect every region dispatched so far —
+/// the denominator grows as the query enters new parallel regions.
+struct MorselProgress {
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> total{0};
+};
+
+/// Binds `progress` as the calling thread's live morsel counter for every
+/// ParallelFor it dispatches, for the lifetime of this object (null is a
+/// no-op). Per-thread and innermost-wins, mirroring
+/// ScopedAccountantBinding: a query's coordinator installs its handle's
+/// counter, and any helper coordinator thread an executor spawns rebinds
+/// Current() so its regions count toward the same query.
+class ScopedMorselProgress {
+ public:
+  explicit ScopedMorselProgress(MorselProgress* progress);
+  ~ScopedMorselProgress();
+
+  ScopedMorselProgress(const ScopedMorselProgress&) = delete;
+  ScopedMorselProgress& operator=(const ScopedMorselProgress&) = delete;
+
+  /// The counter bound to the calling thread; null when none.
+  static MorselProgress* Current();
+
+ private:
+  MorselProgress* prev_;
 };
 
 /// Splits [0, n) into morsels of `morsel_size` indices and runs

@@ -34,6 +34,13 @@ uint64_t ThreadPool::tasks_stolen() const {
   return stolen_;
 }
 
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t depth = 0;
+  for (const auto& q : queues_) depth += q.size();
+  return depth;
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);

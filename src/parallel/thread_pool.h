@@ -51,6 +51,12 @@ class ThreadPool {
   /// and the scheduler's observability.
   uint64_t tasks_stolen() const;
 
+  /// Tasks currently sitting on the worker deques, not yet picked up —
+  /// the run-queue length the telemetry sampler exposes as the
+  /// scheduler_run_queue gauge. A point-in-time read; tasks being
+  /// executed are not counted.
+  size_t queue_depth() const;
+
   /// Index of the calling pool worker in [0, num_threads), or -1 when
   /// called from a thread that is not a pool worker (e.g. a coordinator
   /// running a morsel inline). Lets the parallel layer attribute morsel

@@ -1,7 +1,9 @@
 #ifndef TEMPO_SERVICE_QUERY_SERVICE_H_
 #define TEMPO_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -10,6 +12,7 @@
 
 #include "common/statusor.h"
 #include "obs/exec_context.h"
+#include "obs/telemetry.h"
 #include "parallel/scheduler.h"
 #include "service/join_request.h"
 #include "service/shared_buffer_pool.h"
@@ -29,6 +32,39 @@ struct QueryServiceOptions {
   /// Worker-thread configuration, resolved against TEMPO_BENCH_THREADS by
   /// Scheduler::Create (conflicting settings are an error).
   SchedulerConfig scheduler;
+
+  /// Telemetry knobs. Left default-constructed (nothing enabled), Create
+  /// resolves them from the environment (TelemetryConfig::FromEnv, strict
+  /// parsing); a programmatically-filled config wins over the
+  /// environment. The flight recorder itself is always on — these knobs
+  /// only govern where (and whether) its dumps and the JSONL stream land.
+  TelemetryConfig telemetry;
+};
+
+/// One point-in-time view of a submitted query, safe to take while the
+/// query runs (every field reads an atomic or a mutex-guarded snapshot;
+/// nothing here perturbs charged I/O). Returned by QueryHandle::Progress
+/// and aggregated by QueryService::DumpStats.
+struct QueryProgress {
+  uint64_t query_id = 0;
+  /// "queued" | "running" | "finished" | "failed" | "cancelled".
+  const char* state = "queued";
+  /// Most recently entered executor phase ("" before the first span).
+  const char* phase = "";
+  /// Live morsel counters: completed bodies / dispatched-so-far total
+  /// across every parallel region the query has entered. The total grows
+  /// as the query reaches new regions.
+  uint64_t morsels_completed = 0;
+  uint64_t morsels_total = 0;
+  /// Charged I/O on the query's private accountant so far.
+  IoStats io;
+  /// The admission reservation: its size, whether it is currently held,
+  /// and (while queued) the 1-based FIFO position (0 = not queued).
+  uint32_t pages_reserved = 0;
+  bool pages_held = false;
+  size_t queue_position = 0;
+
+  Json ToJson() const;
 };
 
 /// One submitted join: a future over the join's result. Submit returns
@@ -67,11 +103,28 @@ class QueryHandle {
   /// Wait()).
   double admission_wait_us() const { return admission_wait_us_; }
 
+  /// Service-wide id of this query (tags its flight-recorder events and
+  /// its per-query trace file).
+  uint64_t query_id() const { return query_id_; }
+
+  /// Live progress snapshot, safe to call from any thread at any time —
+  /// including concurrently with the query's own execution.
+  QueryProgress Progress() const;
+
  private:
   friend class Session;
+  friend class QueryService;
+
+  enum class RunState : uint8_t {
+    kQueued,
+    kRunning,
+    kFinished,
+    kFailed,
+    kCancelled,
+  };
 
   QueryHandle(QueryService* service, JoinRequest request,
-              std::unique_ptr<StoredRelation> output);
+              std::unique_ptr<StoredRelation> output, uint64_t query_id);
 
   void Run();  // thread body
 
@@ -79,6 +132,16 @@ class QueryHandle {
   JoinRequest request_;
   std::unique_ptr<StoredRelation> output_;
   std::unique_ptr<AdmissionTicket> ticket_;  // written before thread start
+  const uint64_t query_id_;
+
+  /// Live-progress state, readable while Run() executes. The accountant
+  /// and context are members (not Run() locals) so Progress() can read
+  /// charged I/O and the live phase mid-flight; both are only *written*
+  /// by the query's own threads.
+  std::atomic<RunState> state_{RunState::kQueued};
+  IoAccountant accountant_;
+  ExecContext ctx_;
+  MorselProgress progress_;
 
   std::mutex mu_;
   bool joined_ = false;
@@ -138,36 +201,99 @@ class QueryService {
 
   StatusOr<StoredRelation*> Lookup(const std::string& name) const;
 
+  ~QueryService();
+
   Session OpenSession();
 
   Disk* disk() { return disk_; }
   Scheduler* scheduler() { return scheduler_.get(); }
   SharedBufferPool* pool() { return &pool_; }
 
+  /// The always-on flight recorder of lifecycle events.
+  FlightRecorder* flight() { return &flight_; }
+
+  /// The JSONL sink behind TEMPO_TELEMETRY_OUT; null when not configured.
+  TelemetrySink* telemetry_sink() { return sink_.get(); }
+
+  /// The background sampler; null when no JSONL sink is configured.
+  MetricsSampler* sampler() { return sampler_.get(); }
+
+  const TelemetryConfig& telemetry_config() const { return telemetry_; }
+
   /// Snapshot of the service's lifetime metrics (queries completed /
   /// cancelled, admission queue peak, wait and latency histograms).
   MetricsRegistry SnapshotMetrics() const;
 
+  /// One reading of every declared service gauge (pool occupancy, queue
+  /// depths, live query counts, ...). What the sampler snapshots each
+  /// tick; safe to call concurrently with execution.
+  GaugeSnapshot SampleGauges() const;
+
+  /// Everything at once, as one JSON document: per-query Progress() of
+  /// every live handle (ordered by query id), the gauge snapshot, and the
+  /// metrics snapshot. Safe to call concurrently with execution.
+  Json DumpStats() const;
+
+  /// The service's state in the Prometheus text exposition format
+  /// (SnapshotMetrics + SampleGauges through RenderPrometheus).
+  std::string RenderPrometheusText() const;
+
+  /// Queries captured by the slow-query log so far.
+  uint64_t slow_queries_logged() const {
+    return slow_queries_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class QueryHandle;
+  friend class Session;
 
   QueryService(Disk* disk, std::unique_ptr<Scheduler> scheduler,
-               uint32_t pool_pages)
-      : disk_(disk), scheduler_(std::move(scheduler)),
-        pool_(disk, pool_pages) {}
+               uint32_t pool_pages, const TelemetryConfig& telemetry);
 
   /// Called by each query's thread as it finishes (MetricsRegistry
   /// scalars are not thread-safe; the service serializes them here).
   void RecordOutcome(bool cancelled, double wait_us, double latency_us);
 
+  /// Post-run bookkeeping on the query's thread: flight finish/fallback
+  /// events, the slow-query log, the per-query trace file.
+  void OnQueryFinished(QueryHandle* handle, double wait_us,
+                       double latency_us);
+
+  /// Fail-fast rejection path: flight reject event + dump (the wedged
+  /// state a flight recorder exists to capture).
+  void OnQueryRejected(uint64_t query_id, uint32_t pages);
+
+  uint64_t NextQueryId() {
+    return next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void RegisterHandle(QueryHandle* handle);
+  void UnregisterHandle(QueryHandle* handle);
+
+  /// The sampler's per-tick record: {"gauges": ..., "metrics": ...}.
+  Json SampleTelemetry() const;
+
   Disk* disk_;
   std::unique_ptr<Scheduler> scheduler_;
   SharedBufferPool pool_;
+
+  TelemetryConfig telemetry_;
+  FlightRecorder flight_;
+  std::unique_ptr<TelemetrySink> sink_;
+  std::unique_ptr<MetricsSampler> sampler_;
+  std::atomic<uint64_t> next_query_id_{1};
+  std::atomic<uint64_t> slow_queries_{0};
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, StoredRelation*> catalog_;
   MetricsRegistry metrics_;
   uint64_t next_session_ = 0;
+
+  /// Live handles for DumpStats, keyed by query id (ordered so dumps are
+  /// deterministic). A handle registers on Submit and unregisters first
+  /// thing in its destructor, so the map never holds a dying handle.
+  mutable std::mutex handles_mu_;
+  std::map<uint64_t, QueryHandle*> handles_;
 };
 
 }  // namespace tempo

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/telemetry.h"
+
 namespace tempo {
 
 Status AdmissionTicket::Wait() {
@@ -28,6 +30,10 @@ void AdmissionTicket::Release() {
     case State::kGranted:
       pool_->available_ += pages_;
       state_ = State::kReleased;
+      if (FlightRecorder* flight =
+              pool_->flight_.load(std::memory_order_acquire)) {
+        flight->Append(FlightEventKind::kAdmissionReleased, tag_, pages_);
+      }
       pool_->GrantFromFront();
       pool_->cv_.notify_all();
       break;
@@ -49,7 +55,7 @@ bool AdmissionTicket::granted() const {
 }
 
 StatusOr<std::unique_ptr<AdmissionTicket>> SharedBufferPool::Request(
-    uint32_t pages) {
+    uint32_t pages, uint64_t tag) {
   if (pages == 0) {
     return Status::InvalidArgument("a query must reserve at least one page");
   }
@@ -60,7 +66,8 @@ StatusOr<std::unique_ptr<AdmissionTicket>> SharedBufferPool::Request(
         "query needs " + std::to_string(pages) + " buffer pages but the "
         "shared pool holds only " + std::to_string(capacity_));
   }
-  std::unique_ptr<AdmissionTicket> ticket(new AdmissionTicket(this, pages));
+  std::unique_ptr<AdmissionTicket> ticket(
+      new AdmissionTicket(this, pages, tag));
   std::lock_guard<std::mutex> lock(mu_);
   queue_.push_back(ticket.get());
   queue_peak_ = std::max<uint64_t>(queue_peak_, queue_.size());
@@ -72,17 +79,30 @@ StatusOr<std::unique_ptr<AdmissionTicket>> SharedBufferPool::Request(
 void SharedBufferPool::GrantFromFront() {
   // Strict FIFO: only ever grant the front. A front that does not fit
   // blocks everyone behind it — that is the fairness guarantee.
+  FlightRecorder* flight = flight_.load(std::memory_order_acquire);
   while (!queue_.empty() && queue_.front()->pages_ <= available_) {
     AdmissionTicket* front = queue_.front();
     queue_.pop_front();
     available_ -= front->pages_;
     front->state_ = AdmissionTicket::State::kGranted;
+    if (flight != nullptr) {
+      flight->Append(FlightEventKind::kAdmissionGranted, front->tag_,
+                     front->pages_);
+    }
   }
 }
 
 void SharedBufferPool::Unqueue(AdmissionTicket* ticket) {
   auto it = std::find(queue_.begin(), queue_.end(), ticket);
   if (it != queue_.end()) queue_.erase(it);
+}
+
+size_t SharedBufferPool::QueuePosition(const AdmissionTicket* ticket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i] == ticket) return i + 1;
+  }
+  return 0;
 }
 
 }  // namespace tempo

@@ -1,6 +1,7 @@
 #ifndef TEMPO_SERVICE_SHARED_BUFFER_POOL_H_
 #define TEMPO_SERVICE_SHARED_BUFFER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -13,6 +14,7 @@
 
 namespace tempo {
 
+class FlightRecorder;
 class SharedBufferPool;
 
 /// One query's buffer-page reservation, issued by
@@ -49,15 +51,20 @@ class AdmissionTicket {
   /// True once the ticket has been granted (and not yet released).
   bool granted() const;
 
+  /// Opaque owner tag carried into the pool's flight-recorder events (the
+  /// query service passes the query id to Request). 0 = untagged.
+  uint64_t tag() const { return tag_; }
+
  private:
   friend class SharedBufferPool;
   enum class State { kQueued, kGranted, kCancelled, kReleased };
 
-  AdmissionTicket(SharedBufferPool* pool, uint32_t pages)
-      : pool_(pool), pages_(pages) {}
+  AdmissionTicket(SharedBufferPool* pool, uint32_t pages, uint64_t tag)
+      : pool_(pool), pages_(pages), tag_(tag) {}
 
   SharedBufferPool* pool_;
   const uint32_t pages_;
+  const uint64_t tag_;
   State state_ = State::kQueued;  // guarded by pool_->mu_
 };
 
@@ -92,7 +99,10 @@ class SharedBufferPool {
   /// Reserves `pages` of the pool. ResourceExhausted when pages == 0 or
   /// pages > capacity. Otherwise returns a queued (or, when the pool is
   /// idle and the pages free, immediately granted) ticket; call Wait().
-  StatusOr<std::unique_ptr<AdmissionTicket>> Request(uint32_t pages);
+  /// `tag` travels into the flight-recorder grant/release events (the
+  /// query service passes the query id).
+  StatusOr<std::unique_ptr<AdmissionTicket>> Request(uint32_t pages,
+                                                     uint64_t tag = 0);
 
   uint32_t capacity_pages() const { return capacity_; }
   uint32_t available_pages() const {
@@ -117,6 +127,20 @@ class SharedBufferPool {
   /// contexts register it for hit/miss observability.
   BufferManager* buffer_manager() { return &buffers_; }
 
+  /// 1-based FIFO position of a still-queued ticket (1 = next to be
+  /// granted); 0 when the ticket is not queued (granted, cancelled,
+  /// released, or foreign). The "queue position" of
+  /// QueryHandle::Progress().
+  size_t QueuePosition(const AdmissionTicket* ticket) const;
+
+  /// Wires admission grants/releases into a service flight recorder
+  /// (kAdmissionGranted / kAdmissionReleased events carrying the ticket's
+  /// tag and page count). Null detaches. The recorder must outlive the
+  /// pool or the detach call.
+  void SetFlightRecorder(FlightRecorder* recorder) {
+    flight_.store(recorder, std::memory_order_release);
+  }
+
  private:
   friend class AdmissionTicket;
 
@@ -132,6 +156,7 @@ class SharedBufferPool {
   uint32_t available_;  // guarded by mu_
   std::deque<AdmissionTicket*> queue_;
   uint64_t queue_peak_ = 0;
+  std::atomic<FlightRecorder*> flight_{nullptr};
   BufferManager buffers_;
 };
 

@@ -410,6 +410,44 @@ TEST(BenchCompareTest, VolatileKeyClassification) {
   EXPECT_FALSE(IsVolatileBenchKey("output_tuples"));
 }
 
+TEST(BenchCompareTest, TelemetryKeysAreVolatile) {
+  // The telemetry time-series keys added by the observability layer are
+  // wall-clock functions of the sampler period; a report carrying them
+  // must stay comparable against a pre-telemetry baseline.
+  EXPECT_TRUE(IsVolatileBenchKey("telemetry_samples"));
+  EXPECT_TRUE(IsVolatileBenchKey("telemetry_records"));
+  EXPECT_TRUE(IsVolatileBenchKey("ts_us"));
+  EXPECT_TRUE(IsVolatileBenchKey("slow_queries_logged"));
+  EXPECT_TRUE(IsVolatileBenchKey("flight_events_appended"));
+  EXPECT_TRUE(IsVolatileBenchKey("admission_queue_peak"));
+  // ... but the paper's seeded Kolmogorov sampler counts are
+  // deterministic gated keys (fig4 baseline) and must keep being compared.
+  EXPECT_FALSE(IsVolatileBenchKey("samples"));
+  EXPECT_FALSE(IsVolatileBenchKey("sampled_by_scan"));
+  EXPECT_FALSE(IsVolatileBenchKey("est_sample_cost"));
+}
+
+TEST(BenchCompareTest, ReportWithTelemetryKeysStaysComparable) {
+  // Telemetry keys that drifted wildly between runs are skipped as
+  // volatile, not flagged as regressions — the sampler tick count depends
+  // on wall-clock, never on correctness.
+  Json base = MakeReport(64, 1000.0).ToJson();
+  Json current = MakeReport(64, 1000.0).ToJson();
+  Json* base_values = base.Find("points")->elements()[0].Find("values");
+  Json* cur_values = current.Find("points")->elements()[0].Find("values");
+  base_values->Set("telemetry_samples", 3);
+  cur_values->Set("telemetry_samples", 170);
+  base_values->Set("flight_events_appended", 10);
+  cur_values->Set("flight_events_appended", 12345);
+  base_values->Set("slow_queries_logged", 0);
+  cur_values->Set("slow_queries_logged", 8);
+  auto result = CompareBenchReports(base, current);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->ok()) << result->Render();
+  EXPECT_EQ(result->num_regressions(), 0u);
+  EXPECT_GE(result->values_skipped_volatile, 3u);
+}
+
 TEST(BenchCompareTest, IdenticalReportsPass) {
   Json base = MakeReport(64, 1000.0).ToJson();
   auto result = CompareBenchReports(base, base);

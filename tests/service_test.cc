@@ -4,15 +4,20 @@
 // a query's output pages and charged IoStats are byte-identical to a
 // standalone run at any concurrency level.
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/json.h"
 #include "join/reference_join.h"
+#include "obs/export.h"
 #include "parallel/scheduler.h"
 #include "service/query_service.h"
 #include "test_util.h"
@@ -460,6 +465,313 @@ TEST(QueryServiceTest, ConcurrentRunsByteIdenticalToSerialAtAnyThreadCount) {
                           .c_str());
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// Telemetry (DESIGN.md §4k)
+// ---------------------------------------------------------------------
+
+std::string ServiceTempPath(const std::string& name) {
+  return ::testing::TempDir() + "tempo_service_" + std::to_string(::getpid()) +
+         "_" + name;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Parses every line of a JSONL file; fails the test on a malformed line.
+std::vector<Json> ReadJsonl(const std::string& path) {
+  std::vector<Json> records;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok()) {
+      ADD_FAILURE() << "malformed JSONL line: " << line;
+      continue;
+    }
+    records.push_back(*std::move(parsed));
+  }
+  return records;
+}
+
+// The headline telemetry guarantee: turning *everything* on — sampler,
+// slow-query log (threshold 0 logs every query), flight dump — leaves
+// every query's output pages and charged IoStats byte-identical to a
+// telemetry-off run, at every scheduler thread count. Telemetry only
+// reads snapshots; nothing it does lands on the charged-I/O path.
+TEST(QueryServiceTest, TelemetryOnLeavesOutputAndIoStatsByteIdentical) {
+  ServiceFixture f;
+  const JoinExecutor executors[] = {JoinExecutor::kPartition,
+                                    JoinExecutor::kSortMerge,
+                                    JoinExecutor::kNestedLoop};
+  const std::string jsonl = ServiceTempPath("full.jsonl");
+  const std::string flight = ServiceTempPath("full_flight.json");
+
+  auto run_all = [&](uint32_t threads,
+                     bool telemetry) -> std::vector<RunImage> {
+    QueryServiceOptions options;
+    options.pool_pages = 64;
+    options.scheduler.num_threads = threads;
+    if (telemetry) {
+      options.telemetry.jsonl_path = jsonl;
+      options.telemetry.sampler_period_ms = 1;
+      options.telemetry.slow_query_log = true;
+      options.telemetry.slow_query_ms = 0;  // log every query
+      options.telemetry.flight_path = flight;
+    }
+    auto service_or = QueryService::Create(&f.disk, options);
+    if (!service_or.ok()) {
+      ADD_FAILURE() << service_or.status().ToString();
+      return {};
+    }
+    auto service = *std::move(service_or);
+    Session session = service->OpenSession();
+    std::vector<std::unique_ptr<QueryHandle>> handles;
+    for (JoinExecutor executor : executors) {
+      JoinRequest request;
+      request.From(f.r.get(), f.s.get()).Using(executor).BufferPages(8);
+      auto handle = session.Submit(request);
+      if (!handle.ok()) {
+        ADD_FAILURE() << handle.status().ToString();
+        return {};
+      }
+      handles.push_back(*std::move(handle));
+    }
+    std::vector<RunImage> images;
+    for (auto& handle : handles) {
+      auto st = handle->Wait();
+      if (!st.ok()) ADD_FAILURE() << st.ToString();
+      images.push_back(ImageOf(handle.get()));
+    }
+    if (telemetry) {
+      EXPECT_EQ(service->slow_queries_logged(), handles.size());
+    }
+    return images;
+  };
+
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    std::vector<RunImage> off = run_all(threads, /*telemetry=*/false);
+    std::vector<RunImage> on = run_all(threads, /*telemetry=*/true);
+    ASSERT_EQ(off.size(), on.size());
+    for (size_t i = 0; i < off.size(); ++i) {
+      ExpectSameImage(off[i], on[i],
+                      (std::string(JoinExecutorName(executors[i])) +
+                       " telemetry on/off @threads=" + std::to_string(threads))
+                          .c_str());
+    }
+  }
+
+  // The fully-enabled runs also produced a parseable JSONL stream and a
+  // parseable shutdown flight dump.
+  std::vector<Json> records = ReadJsonl(jsonl);
+  ASSERT_FALSE(records.empty());
+  size_t samples = 0;
+  size_t slow = 0;
+  for (const Json& record : records) {
+    const std::string& type = record.Find("type")->AsString();
+    if (type == "sample") ++samples;
+    if (type == "slow_query") ++slow;
+  }
+  EXPECT_GE(samples, 1u);
+  EXPECT_GE(slow, 12u);  // 3 queries x 4 thread counts, threshold 0
+  auto flight_doc = Json::Parse(ReadWholeFile(flight));
+  ASSERT_TRUE(flight_doc.ok()) << flight_doc.status().ToString();
+  EXPECT_NE(flight_doc->Find("traceEvents"), nullptr);
+  std::remove(jsonl.c_str());
+  std::remove(flight.c_str());
+}
+
+// The acceptance criterion for the rejection path: a kResourceExhausted
+// submit leaves a submit/reject event pair for that query in the flight
+// dump, written at the moment of rejection.
+TEST(QueryServiceTest, RejectedQueryLeavesSubmitRejectPairInFlightDump) {
+  ServiceFixture f;
+  const std::string flight = ServiceTempPath("reject_flight.json");
+  std::remove(flight.c_str());
+  QueryServiceOptions options;
+  options.pool_pages = 8;
+  options.telemetry.flight_path = flight;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto service,
+                             QueryService::Create(&f.disk, options));
+  Session session = service->OpenSession();
+  JoinRequest request;
+  request.From(f.r.get(), f.s.get()).BufferPages(16);  // > pool
+  auto handle = session.Submit(request);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kResourceExhausted);
+
+  // The dump was written by the rejection itself, before shutdown.
+  auto doc = Json::Parse(ReadWholeFile(flight));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  uint64_t rejected_query = 0;
+  bool saw_reject = false;
+  bool saw_submit = false;
+  for (const Json& e : doc->Find("traceEvents")->elements()) {
+    if (e.Find("name")->AsString() == "query rejected") {
+      saw_reject = true;
+      rejected_query =
+          static_cast<uint64_t>(e.Find("args")->Find("query")->AsNumber());
+      EXPECT_EQ(e.Find("args")->Find("arg")->AsNumber(), 16.0);
+    }
+  }
+  ASSERT_TRUE(saw_reject);
+  for (const Json& e : doc->Find("traceEvents")->elements()) {
+    if (e.Find("name")->AsString() == "query submitted" &&
+        static_cast<uint64_t>(e.Find("args")->Find("query")->AsNumber()) ==
+            rejected_query) {
+      saw_submit = true;
+    }
+  }
+  EXPECT_TRUE(saw_submit)
+      << "no submit event for rejected query " << rejected_query;
+  std::remove(flight.c_str());
+}
+
+// Satellite (a): one TEMPO_TRACE_OUT setting used to make N concurrent
+// queries clobber a single trace file; the service now derives a
+// per-query "<base>.q<id>.json" path, so two concurrent queries produce
+// two well-formed traces.
+TEST(QueryServiceTest, ConcurrentQueriesWriteSeparatePerQueryTraces) {
+  const std::string base = ServiceTempPath("trace.json");
+  setenv("TEMPO_TRACE_OUT", base.c_str(), 1);
+  ServiceFixture f;
+  {
+    QueryServiceOptions options;
+    options.pool_pages = 64;
+    options.scheduler.num_threads = 2;
+    TEMPO_ASSERT_OK_AND_ASSIGN(auto service,
+                               QueryService::Create(&f.disk, options));
+    Session session = service->OpenSession();
+    JoinRequest request;
+    request.From(f.r.get(), f.s.get()).BufferPages(8);
+    TEMPO_ASSERT_OK_AND_ASSIGN(auto a, session.Submit(request));
+    TEMPO_ASSERT_OK_AND_ASSIGN(auto b, session.Submit(request));
+    TEMPO_ASSERT_OK(a->Wait());
+    TEMPO_ASSERT_OK(b->Wait());
+    EXPECT_NE(a->query_id(), b->query_id());
+
+    for (const QueryHandle* handle : {a.get(), b.get()}) {
+      const std::string path = PerQueryTracePath(base, handle->query_id());
+      auto doc = Json::Parse(ReadWholeFile(path));
+      ASSERT_TRUE(doc.ok())
+          << path << ": " << doc.status().ToString();
+      const Json* events = doc->Find("traceEvents");
+      ASSERT_NE(events, nullptr) << path;
+      EXPECT_FALSE(events->elements().empty()) << path;
+      std::remove(path.c_str());
+    }
+    // The shared base path itself is never written.
+    EXPECT_EQ(ReadWholeFile(base), "");
+  }
+  unsetenv("TEMPO_TRACE_OUT");
+}
+
+TEST(QueryServiceTest, ProgressTracksQueuedRunningAndFinishedStates) {
+  ServiceFixture f;
+  QueryServiceOptions options;
+  options.pool_pages = 8;
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto service,
+                             QueryService::Create(&f.disk, options));
+  Session session = service->OpenSession();
+
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto blocker, service->pool()->Request(8));
+  JoinRequest request;
+  request.From(f.r.get(), f.s.get()).BufferPages(8);
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto handle, session.Submit(request));
+
+  // Deterministically queued behind the blocker.
+  QueryProgress queued = handle->Progress();
+  EXPECT_STREQ(queued.state, "queued");
+  EXPECT_EQ(queued.queue_position, 1u);
+  EXPECT_FALSE(queued.pages_held);
+  EXPECT_EQ(queued.pages_reserved, 8u);
+  EXPECT_EQ(queued.morsels_total, 0u);
+
+  // DumpStats sees the same query, and the gauges agree.
+  Json stats = service->DumpStats();
+  ASSERT_EQ(stats.Find("queries")->elements().size(), 1u);
+  const Json& q = stats.Find("queries")->elements()[0];
+  EXPECT_EQ(q.Find("state")->AsString(), "queued");
+  EXPECT_EQ(q.Find("query_id")->AsNumber(),
+            static_cast<double>(handle->query_id()));
+  EXPECT_EQ(stats.Find("gauges")->Find("queries_queued")->AsNumber(), 1.0);
+  EXPECT_EQ(stats.Find("gauges")->Find("pool_pages_available")->AsNumber(),
+            0.0);
+  ASSERT_NE(stats.Find("metrics"), nullptr);
+
+  GaugeSnapshot gauges = service->SampleGauges();
+  EXPECT_EQ(gauges.Get(Gauge::kPoolPagesTotal), 8.0);
+  EXPECT_EQ(gauges.Get(Gauge::kQueriesQueued), 1.0);
+  EXPECT_GE(gauges.Get(Gauge::kFlightEventsAppended), 1.0);
+
+  blocker->Release();
+  TEMPO_ASSERT_OK(handle->Wait());
+  QueryProgress done = handle->Progress();
+  EXPECT_STREQ(done.state, "finished");
+  EXPECT_FALSE(done.pages_held);   // reservation returned
+  EXPECT_EQ(done.queue_position, 0u);
+  EXPECT_GT(done.io.total_ops(), 0u);  // charged I/O accumulated
+
+  // The exposition renders and carries the service's gauge values.
+  const std::string prom = service->RenderPrometheusText();
+  EXPECT_NE(prom.find("# TYPE tempo_pool_pages_total gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tempo_pool_pages_total 8\n"), std::string::npos);
+  EXPECT_NE(prom.find("tempo_queries_completed 1\n"), std::string::npos);
+}
+
+TEST(QueryServiceTest, SlowQueryLogCapturesRequestAndExplain) {
+  ServiceFixture f;
+  const std::string jsonl = ServiceTempPath("slow.jsonl");
+  std::remove(jsonl.c_str());
+  QueryServiceOptions options;
+  options.pool_pages = 64;
+  options.telemetry.jsonl_path = jsonl;
+  options.telemetry.sampler_period_ms = 1000;  // final sample only
+  options.telemetry.slow_query_log = true;
+  options.telemetry.slow_query_ms = 0;  // log every query
+  {
+    TEMPO_ASSERT_OK_AND_ASSIGN(auto service,
+                               QueryService::Create(&f.disk, options));
+    Session session = service->OpenSession();
+    JoinRequest request;
+    request.From(f.r.get(), f.s.get())
+        .Using(JoinExecutor::kPartition)
+        .BufferPages(8);
+    TEMPO_ASSERT_OK_AND_ASSIGN(auto handle, session.Submit(request));
+    TEMPO_ASSERT_OK(handle->Wait());
+    EXPECT_EQ(service->slow_queries_logged(), 1u);
+  }
+
+  std::vector<Json> records = ReadJsonl(jsonl);
+  const Json* slow = nullptr;
+  size_t samples = 0;
+  for (const Json& record : records) {
+    const std::string& type = record.Find("type")->AsString();
+    if (type == "slow_query") slow = &record;
+    if (type == "sample") ++samples;
+  }
+  EXPECT_GE(samples, 1u);  // Stop() takes a final sample even on short runs
+  ASSERT_NE(slow, nullptr);
+  EXPECT_GE(slow->Find("latency_us")->AsNumber(), 0.0);
+  const Json* req = slow->Find("request");
+  ASSERT_NE(req, nullptr);
+  EXPECT_EQ(req->Find("executor")->AsString(), "partition");
+  EXPECT_EQ(req->Find("buffer_pages")->AsNumber(), 8.0);
+  EXPECT_EQ(req->Find("r")->AsString(), "r");
+  ASSERT_NE(slow->Find("io"), nullptr);
+  ASSERT_NE(slow->Find("metrics"), nullptr);
+  // The captured EXPLAIN ANALYZE tree names the executor's phases.
+  ASSERT_NE(slow->Find("explain"), nullptr);
+  EXPECT_NE(slow->Find("explain")->AsString().find("partition join"),
+            std::string::npos)
+      << slow->Find("explain")->AsString();
+  std::remove(jsonl.c_str());
 }
 
 TEST(QueryServiceTest, RegisterRejectsDuplicatesAndLookupMisses) {

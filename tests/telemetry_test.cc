@@ -1,0 +1,529 @@
+// Tests for the service telemetry layer (DESIGN.md §4k): the lock-free
+// flight recorder and its Perfetto dump (including the async-signal-safe
+// variant), the JSONL sink + background sampler under concurrent
+// histogram recording, the golden Prometheus text exposition, the strict
+// env parsing behind the telemetry knobs, and the per-query trace-path
+// derivation that keeps concurrent queries from clobbering one file.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "common/json.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "test_util.h"
+
+namespace tempo {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "tempo_telemetry_" +
+         std::to_string(::getpid()) + "_" + name;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Restores (or clears) one env var on scope exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = ::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+// ---------------------------------------------------------------------
+// Gauge declarations
+// ---------------------------------------------------------------------
+
+TEST(GaugeTest, DeclarationsAreConsistent) {
+  ASSERT_EQ(AllGaugeDefs().size(), kNumGauges);
+  std::set<std::string> names;
+  for (const GaugeDef& def : AllGaugeDefs()) {
+    EXPECT_EQ(&GetGaugeDef(def.id), &def);
+    EXPECT_TRUE(names.insert(def.name).second)
+        << "duplicate gauge name " << def.name;
+    EXPECT_NE(std::string(def.doc), "");
+  }
+  EXPECT_EQ(std::string(GetGaugeDef(Gauge::kPoolPagesTotal).name),
+            "pool_pages_total");
+  EXPECT_EQ(std::string(GetGaugeDef(Gauge::kFlightEventsAppended).name),
+            "flight_events_appended");
+}
+
+TEST(GaugeTest, SnapshotRoundTripsThroughJsonInDeclarationOrder) {
+  GaugeSnapshot snap;
+  snap.Set(Gauge::kPoolPagesTotal, 4096);
+  snap.Set(Gauge::kQueriesRunning, 3);
+  EXPECT_EQ(snap.Get(Gauge::kPoolPagesTotal), 4096);
+  EXPECT_EQ(snap.Get(Gauge::kQueriesRunning), 3);
+  EXPECT_EQ(snap.Get(Gauge::kSlowQueriesLogged), 0);
+
+  Json j = snap.ToJson();
+  ASSERT_TRUE(j.is_object());
+  ASSERT_EQ(j.members().size(), kNumGauges);
+  // Declaration order is the serialization order (deterministic dumps).
+  EXPECT_EQ(j.members().front().first, "pool_pages_total");
+  EXPECT_EQ(j.members().back().first, "flight_events_appended");
+  EXPECT_EQ(j.Find("queries_running")->AsNumber(), 3.0);
+}
+
+TEST(GaugeTest, DescribeGaugesListsEveryGauge) {
+  const std::string doc = DescribeGauges();
+  EXPECT_NE(doc.find("| Gauge | Unit |"), std::string::npos);
+  for (const GaugeDef& def : AllGaugeDefs()) {
+    EXPECT_NE(doc.find("`" + std::string(def.name) + "`"), std::string::npos)
+        << def.name;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+TEST(FlightRecorderTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FlightRecorder(1).capacity(), 16u);
+  EXPECT_EQ(FlightRecorder(16).capacity(), 16u);
+  EXPECT_EQ(FlightRecorder(17).capacity(), 32u);
+  EXPECT_EQ(FlightRecorder(100).capacity(), 128u);
+}
+
+TEST(FlightRecorderTest, DumpIsValidPerfettoTrace) {
+  FlightRecorder recorder(64);
+  recorder.Append(FlightEventKind::kQuerySubmitted, 7, 32);
+  recorder.Append(FlightEventKind::kAdmissionGranted, 7, 32);
+  recorder.Append(FlightEventKind::kQueryFinished, 7, 1234);
+  EXPECT_EQ(recorder.events_appended(), 3u);
+
+  Json doc = recorder.DumpJson();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.Find("schema_version")->AsNumber(), 1.0);
+  EXPECT_EQ(doc.Find("events_appended")->AsNumber(), 3.0);
+  EXPECT_EQ(doc.Find("dropped_events")->AsNumber(), 0.0);
+  EXPECT_EQ(doc.Find("displayTimeUnit")->AsString(), "ms");
+
+  const Json* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->elements().size(), 3u);
+  const Json& first = events->elements()[0];
+  EXPECT_EQ(first.Find("name")->AsString(), "query submitted");
+  EXPECT_EQ(first.Find("ph")->AsString(), "i");
+  EXPECT_EQ(first.Find("cat")->AsString(), "flight");
+  ASSERT_NE(first.Find("ts"), nullptr);
+  EXPECT_EQ(first.Find("args")->Find("query")->AsNumber(), 7.0);
+  EXPECT_EQ(first.Find("args")->Find("arg")->AsNumber(), 32.0);
+  EXPECT_EQ(events->elements()[2].Find("name")->AsString(), "query finished");
+
+  // Dump(…) → Parse(…) round trip: the file CI writes must re-parse.
+  auto reparsed = Json::Parse(doc.Dump(2));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestAndReportsDropped) {
+  FlightRecorder recorder(16);
+  ASSERT_EQ(recorder.capacity(), 16u);
+  for (uint64_t i = 0; i < 40; ++i) {
+    recorder.Append(FlightEventKind::kPhaseEntered, i, i);
+  }
+  EXPECT_EQ(recorder.events_appended(), 40u);
+
+  Json doc = recorder.DumpJson();
+  EXPECT_EQ(doc.Find("events_appended")->AsNumber(), 40.0);
+  EXPECT_EQ(doc.Find("dropped_events")->AsNumber(), 24.0);
+  const Json* events = doc.Find("traceEvents");
+  ASSERT_EQ(events->elements().size(), 16u);
+  // The survivors are exactly the 16 most recent, in append order.
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(events->elements()[i].Find("args")->Find("seq")->AsNumber(),
+              static_cast<double>(24 + i));
+  }
+}
+
+TEST(FlightRecorderTest, DumpFileWritesParseableTrace) {
+  const std::string path = TempPath("flight.json");
+  FlightRecorder recorder(32);
+  recorder.Append(FlightEventKind::kQueryRejected, 9, 100000);
+  ASSERT_TRUE(recorder.DumpFile(path).ok());
+
+  auto doc = Json::Parse(ReadWholeFile(path));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("traceEvents")->elements().size(), 1u);
+  EXPECT_EQ(doc->Find("traceEvents")->elements()[0].Find("name")->AsString(),
+            "query rejected");
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, SignalSafeDumpMatchesJsonShape) {
+  const std::string path = TempPath("flight_sigsafe.json");
+  FlightRecorder recorder(32);
+  recorder.Append(FlightEventKind::kQuerySubmitted, 1, 8);
+  recorder.Append(FlightEventKind::kQueryAdmitted, 1, 8);
+
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  recorder.DumpToFdSignalSafe(fd);
+  ::close(fd);
+
+  auto doc = Json::Parse(ReadWholeFile(path));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("schema_version")->AsNumber(), 1.0);
+  EXPECT_EQ(doc->Find("events_appended")->AsNumber(), 2.0);
+  EXPECT_EQ(doc->Find("dropped_events")->AsNumber(), 0.0);
+  const Json* events = doc->Find("traceEvents");
+  ASSERT_EQ(events->elements().size(), 2u);
+  EXPECT_EQ(events->elements()[0].Find("name")->AsString(), "query submitted");
+  EXPECT_EQ(events->elements()[1].Find("name")->AsString(), "query admitted");
+  EXPECT_EQ(events->elements()[1].Find("args")->Find("query")->AsNumber(),
+            1.0);
+  std::remove(path.c_str());
+}
+
+// The TSan-exercised test: appenders race each other and a dumper. Every
+// event carries arg = 3 * query_id + 1, so a torn slot (fields from two
+// different events) is detectable in the dump. The seqlock must either
+// drop a slot mid-overwrite or report it coherently — never mix fields.
+TEST(FlightRecorderTest, ConcurrentAppendAndDumpNeverTearsEvents) {
+  FlightRecorder recorder(64);  // small ring => constant overwriting
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 2000;
+  std::atomic<bool> start{false};
+
+  std::vector<std::thread> appenders;
+  appenders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    appenders.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        const uint64_t query = static_cast<uint64_t>(t) * kPerThread + i;
+        recorder.Append(FlightEventKind::kPhaseEntered, query, 3 * query + 1);
+      }
+    });
+  }
+
+  // While appenders race, a dump may legitimately drop every slot — the
+  // tiny ring turns over faster than the reader can scan it — but any
+  // event it does emit must be coherent.
+  start.store(true, std::memory_order_release);
+  for (int round = 0; round < 50; ++round) {
+    Json doc = recorder.DumpJson();
+    for (const Json& e : doc.Find("traceEvents")->elements()) {
+      const auto query =
+          static_cast<uint64_t>(e.Find("args")->Find("query")->AsNumber());
+      ASSERT_EQ(e.Find("args")->Find("arg")->AsNumber(),
+                static_cast<double>(3 * query + 1))
+          << "torn flight-recorder slot";
+    }
+  }
+  for (std::thread& thread : appenders) thread.join();
+  EXPECT_EQ(recorder.events_appended(), kThreads * kPerThread);
+
+  // After quiescing, a dump sees the full window and every event is
+  // coherent.
+  Json doc = recorder.DumpJson();
+  ASSERT_EQ(doc.Find("traceEvents")->elements().size(), recorder.capacity());
+  for (const Json& e : doc.Find("traceEvents")->elements()) {
+    const auto query =
+        static_cast<uint64_t>(e.Find("args")->Find("query")->AsNumber());
+    EXPECT_EQ(e.Find("args")->Find("arg")->AsNumber(),
+              static_cast<double>(3 * query + 1));
+  }
+}
+
+// ---------------------------------------------------------------------
+// TelemetrySink + MetricsSampler
+// ---------------------------------------------------------------------
+
+TEST(TelemetrySinkTest, AppendsOneCompactLinePerRecord) {
+  const std::string path = TempPath("sink.jsonl");
+  std::remove(path.c_str());
+  {
+    TEMPO_ASSERT_OK_AND_ASSIGN(auto sink, TelemetrySink::Open(path));
+    Json a = Json::Object();
+    a.Set("type", "sample");
+    a.Set("n", 1);
+    ASSERT_TRUE(sink->Append(a).ok());
+    Json b = Json::Object();
+    b.Set("type", "slow_query");
+    b.Set("n", 2);
+    ASSERT_TRUE(sink->Append(b).ok());
+    EXPECT_EQ(sink->records_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    auto parsed = Json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << "line " << lines << ": " << line;
+    EXPECT_EQ(parsed->Find("n")->AsNumber(), static_cast<double>(lines));
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+// The TSan-exercised sampler test: four worker threads hammer the
+// registry's relaxed-atomic histograms while the background sampler
+// snapshots concurrently. Stop() takes a final sample after the workers
+// joined, so the last JSONL record must carry the exact totals.
+TEST(MetricsSamplerTest, SamplesConcurrentlyWithHistogramRecording) {
+  const std::string path = TempPath("sampler.jsonl");
+  std::remove(path.c_str());
+  TEMPO_ASSERT_OK_AND_ASSIGN(auto sink, TelemetrySink::Open(path));
+
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  {
+    MetricsSampler sampler(1, sink.get(), [&registry] {
+      const LogHistogram& hist =
+          registry.histogram(Hist::kQueryLatencyUs);
+      Json j = Json::Object();
+      j.Set("latency_count", hist.count());
+      j.Set("latency_sum", hist.sum());
+      return j;
+    });
+
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&registry] {
+        for (int i = 0; i < kPerThread; ++i) {
+          registry.Record(Hist::kQueryLatencyUs, 2.0);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    sampler.Stop();
+    EXPECT_GE(sampler.ticks(), 1u);
+  }
+
+  std::ifstream in(path);
+  std::string line;
+  std::string last;
+  uint64_t records = 0;
+  double prev_seq = -1.0;
+  while (std::getline(in, line)) {
+    ++records;
+    auto parsed = Json::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << "record " << records << ": " << line;
+    EXPECT_EQ(parsed->Find("type")->AsString(), "sample");
+    ASSERT_NE(parsed->Find("ts_us"), nullptr);
+    const double seq = parsed->Find("seq")->AsNumber();
+    EXPECT_GT(seq, prev_seq);  // strictly increasing sample sequence
+    prev_seq = seq;
+    last = line;
+  }
+  ASSERT_GE(records, 1u);
+  EXPECT_EQ(sink->records_written(), records);
+
+  auto final_sample = Json::Parse(last);
+  ASSERT_TRUE(final_sample.ok());
+  EXPECT_EQ(final_sample->Find("latency_count")->AsNumber(),
+            static_cast<double>(kThreads * kPerThread));
+  EXPECT_EQ(final_sample->Find("latency_sum")->AsNumber(),
+            2.0 * kThreads * kPerThread);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------
+
+// Golden test: the exposition is a deterministic function of the x-macro
+// declarations — HELP/TYPE lines, declaration ordering, cumulative
+// buckets. Renaming a metric or reordering the lists breaks scrapers, so
+// it must break this test first.
+TEST(PrometheusTest, GoldenExposition) {
+  MetricsRegistry metrics;
+  metrics.Set(Metric::kOuterBlocks, 7);
+  metrics.Record(Hist::kAdmissionWaitUs, 3.0);    // bucket [2,4)
+  metrics.Record(Hist::kAdmissionWaitUs, 100.0);  // bucket [64,128)
+
+  const std::string expected =
+      "# HELP tempo_outer_blocks Outer blocks loaded; each block triggers "
+      "one full scan of the inner relation.\n"
+      "# TYPE tempo_outer_blocks gauge\n"
+      "tempo_outer_blocks 7\n"
+      "# HELP tempo_admission_wait_us Wall-clock time each admitted query "
+      "spent queued for its buffer-pool reservation (0 for queries admitted "
+      "immediately).\n"
+      "# TYPE tempo_admission_wait_us histogram\n"
+      "tempo_admission_wait_us_bucket{le=\"4\"} 1\n"
+      "tempo_admission_wait_us_bucket{le=\"128\"} 2\n"
+      "tempo_admission_wait_us_bucket{le=\"+Inf\"} 2\n"
+      "tempo_admission_wait_us_sum 103\n"
+      "tempo_admission_wait_us_count 2\n";
+  EXPECT_EQ(RenderPrometheus(metrics), expected);
+}
+
+TEST(PrometheusTest, GaugesRenderFirstInDeclarationOrder) {
+  MetricsRegistry metrics;  // nothing set: gauges only
+  GaugeSnapshot gauges;
+  gauges.Set(Gauge::kPoolPagesTotal, 4096);
+  gauges.Set(Gauge::kQueriesRunning, 2);
+
+  const std::string text = RenderPrometheus(metrics, &gauges);
+  EXPECT_EQ(text.find("# HELP tempo_pool_pages_total "), 0u);
+  EXPECT_NE(text.find("# TYPE tempo_pool_pages_total gauge\n"
+                      "tempo_pool_pages_total 4096\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tempo_queries_running 2\n"), std::string::npos);
+  size_t prev = 0;
+  for (const GaugeDef& def : AllGaugeDefs()) {
+    const size_t pos = text.find("tempo_" + std::string(def.name) + " ");
+    ASSERT_NE(pos, std::string::npos) << def.name;
+    EXPECT_GT(pos, prev);
+    prev = pos;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Strict env parsing + TelemetryConfig
+// ---------------------------------------------------------------------
+
+TEST(EnvStrictTest, StrictParserReturnsValueFallbackOrError) {
+  ScopedEnv unset("TEMPO_TEST_KNOB", nullptr);
+  TEMPO_ASSERT_OK_AND_ASSIGN(uint64_t v,
+                             EnvStrictUint64Or("TEMPO_TEST_KNOB", 42));
+  EXPECT_EQ(v, 42u);  // unset => fallback
+
+  ::setenv("TEMPO_TEST_KNOB", "17", 1);
+  TEMPO_ASSERT_OK_AND_ASSIGN(v, EnvStrictUint64Or("TEMPO_TEST_KNOB", 42));
+  EXPECT_EQ(v, 17u);
+
+  // Trailing garbage, non-numeric, negative: InvalidArgument naming the
+  // variable — never a silent half-parse or fallback.
+  for (const char* bad : {"17x", "x", "-3", "1 ", "0.5"}) {
+    ::setenv("TEMPO_TEST_KNOB", bad, 1);
+    auto result = EnvStrictUint64Or("TEMPO_TEST_KNOB", 42);
+    ASSERT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(result.status().ToString().find("TEMPO_TEST_KNOB"),
+              std::string::npos)
+        << result.status().ToString();
+  }
+
+  // Range enforcement; min = 0 admits "0" (TEMPO_SLOW_QUERY_MS=0 means
+  // "log every query").
+  ::setenv("TEMPO_TEST_KNOB", "0", 1);
+  EXPECT_FALSE(EnvStrictUint64Or("TEMPO_TEST_KNOB", 42, 1).ok());
+  TEMPO_ASSERT_OK_AND_ASSIGN(v, EnvStrictUint64Or("TEMPO_TEST_KNOB", 42, 0));
+  EXPECT_EQ(v, 0u);
+  ::setenv("TEMPO_TEST_KNOB", "99", 1);
+  EXPECT_FALSE(EnvStrictUint64Or("TEMPO_TEST_KNOB", 42, 1, 98).ok());
+}
+
+TEST(TelemetryConfigTest, DefaultsAreDisabled) {
+  ScopedEnv e1("TEMPO_TELEMETRY_OUT", nullptr);
+  ScopedEnv e2("TEMPO_TELEMETRY_PERIOD_MS", nullptr);
+  ScopedEnv e3("TEMPO_SLOW_QUERY_MS", nullptr);
+  ScopedEnv e4("TEMPO_FLIGHT_OUT", nullptr);
+  ScopedEnv e5("TEMPO_FLIGHT_EVENTS", nullptr);
+  TEMPO_ASSERT_OK_AND_ASSIGN(TelemetryConfig config, TelemetryConfig::FromEnv());
+  EXPECT_FALSE(config.enabled());
+  EXPECT_EQ(config.jsonl_path, "");
+  EXPECT_EQ(config.sampler_period_ms, 100u);
+  EXPECT_FALSE(config.slow_query_log);
+  EXPECT_EQ(config.flight_events, 4096u);
+}
+
+TEST(TelemetryConfigTest, ResolvesAllKnobsFromEnv) {
+  ScopedEnv e1("TEMPO_TELEMETRY_OUT", "/tmp/t.jsonl");
+  ScopedEnv e2("TEMPO_TELEMETRY_PERIOD_MS", "50");
+  ScopedEnv e3("TEMPO_SLOW_QUERY_MS", "0");
+  ScopedEnv e4("TEMPO_FLIGHT_OUT", "/tmp/f.json");
+  ScopedEnv e5("TEMPO_FLIGHT_EVENTS", "256");
+  TEMPO_ASSERT_OK_AND_ASSIGN(TelemetryConfig config, TelemetryConfig::FromEnv());
+  EXPECT_TRUE(config.enabled());
+  EXPECT_EQ(config.jsonl_path, "/tmp/t.jsonl");
+  EXPECT_EQ(config.sampler_period_ms, 50u);
+  // Presence of TEMPO_SLOW_QUERY_MS enables the log; 0 logs every query.
+  EXPECT_TRUE(config.slow_query_log);
+  EXPECT_EQ(config.slow_query_ms, 0u);
+  EXPECT_EQ(config.flight_path, "/tmp/f.json");
+  EXPECT_EQ(config.flight_events, 256u);
+}
+
+TEST(TelemetryConfigTest, MalformedKnobsFailNamingTheVariable) {
+  {
+    ScopedEnv bad("TEMPO_TELEMETRY_PERIOD_MS", "fast");
+    auto config = TelemetryConfig::FromEnv();
+    ASSERT_FALSE(config.ok());
+    EXPECT_NE(config.status().ToString().find("TEMPO_TELEMETRY_PERIOD_MS"),
+              std::string::npos)
+        << config.status().ToString();
+  }
+  {
+    ScopedEnv e1("TEMPO_TELEMETRY_PERIOD_MS", nullptr);
+    ScopedEnv bad("TEMPO_SLOW_QUERY_MS", "100ms");
+    auto config = TelemetryConfig::FromEnv();
+    ASSERT_FALSE(config.ok());
+    EXPECT_NE(config.status().ToString().find("TEMPO_SLOW_QUERY_MS"),
+              std::string::npos);
+  }
+  {
+    ScopedEnv e1("TEMPO_SLOW_QUERY_MS", nullptr);
+    ScopedEnv bad("TEMPO_FLIGHT_EVENTS", "8");  // below the 16-slot minimum
+    auto config = TelemetryConfig::FromEnv();
+    ASSERT_FALSE(config.ok());
+    EXPECT_NE(config.status().ToString().find("TEMPO_FLIGHT_EVENTS"),
+              std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Per-query trace paths
+// ---------------------------------------------------------------------
+
+TEST(PerQueryTracePathTest, InsertsQueryIdBeforeExtension) {
+  EXPECT_EQ(PerQueryTracePath("trace.json", 7), "trace.q7.json");
+  EXPECT_EQ(PerQueryTracePath("out/trace.json", 12), "out/trace.q12.json");
+  EXPECT_EQ(PerQueryTracePath("trace", 7), "trace.q7");
+  // A dot inside a directory component is not an extension.
+  EXPECT_EQ(PerQueryTracePath("out.d/trace", 3), "out.d/trace.q3");
+  EXPECT_EQ(PerQueryTracePath("./trace", 3), "./trace.q3");
+}
+
+}  // namespace
+}  // namespace tempo

@@ -1,0 +1,173 @@
+// telemetry_check: validate telemetry artifacts in CI.
+//
+//   telemetry_check --jsonl=<path>   validate a TEMPO_TELEMETRY_OUT stream
+//   telemetry_check --flight=<path>  validate a TEMPO_FLIGHT_OUT dump
+//
+// Both flags may be given at once. JSONL validation requires every line
+// to parse as a JSON object with a "type" field and counts the record
+// types (at least one "sample" record must be present — the sampler
+// takes a final sample even on short runs). Flight validation requires a
+// parseable Perfetto/chrome-trace document: a "traceEvents" array whose
+// entries carry name/ph/ts, plus the schema_version / events_appended /
+// dropped_events bookkeeping the dumpers write.
+//
+// Exit codes: 0 = valid; 1 = validation failure; 2 = usage or I/O error.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: telemetry_check [--jsonl=<path>] [--flight=<path>]\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+int CheckJsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "telemetry_check: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::string line;
+  uint64_t records = 0;
+  uint64_t samples = 0;
+  uint64_t slow_queries = 0;
+  uint64_t other = 0;
+  while (std::getline(in, line)) {
+    ++records;
+    auto parsed = tempo::Json::Parse(line);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "telemetry_check: %s line %llu does not parse: %s\n",
+                   path.c_str(), static_cast<unsigned long long>(records),
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    if (!parsed->is_object()) {
+      std::fprintf(stderr, "telemetry_check: %s line %llu is not an object\n",
+                   path.c_str(), static_cast<unsigned long long>(records));
+      return 1;
+    }
+    const tempo::Json* type = parsed->Find("type");
+    if (type == nullptr || !type->is_string()) {
+      std::fprintf(stderr,
+                   "telemetry_check: %s line %llu has no \"type\" field\n",
+                   path.c_str(), static_cast<unsigned long long>(records));
+      return 1;
+    }
+    if (type->AsString() == "sample") {
+      ++samples;
+    } else if (type->AsString() == "slow_query") {
+      ++slow_queries;
+    } else {
+      ++other;
+    }
+  }
+  if (samples == 0) {
+    std::fprintf(stderr,
+                 "telemetry_check: %s has no \"sample\" records (%llu lines)\n",
+                 path.c_str(), static_cast<unsigned long long>(records));
+    return 1;
+  }
+  std::printf("telemetry_check: %s OK — %llu records (%llu samples, "
+              "%llu slow queries, %llu other)\n",
+              path.c_str(), static_cast<unsigned long long>(records),
+              static_cast<unsigned long long>(samples),
+              static_cast<unsigned long long>(slow_queries),
+              static_cast<unsigned long long>(other));
+  return 0;
+}
+
+int CheckFlight(const std::string& path) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "telemetry_check: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  auto doc = tempo::Json::Parse(text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "telemetry_check: %s does not parse: %s\n",
+                 path.c_str(), doc.status().ToString().c_str());
+    return 1;
+  }
+  const tempo::Json* events = doc->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr,
+                 "telemetry_check: %s has no traceEvents array\n",
+                 path.c_str());
+    return 1;
+  }
+  for (const char* key : {"schema_version", "events_appended",
+                          "dropped_events"}) {
+    const tempo::Json* v = doc->Find(key);
+    if (v == nullptr || !v->is_number()) {
+      std::fprintf(stderr, "telemetry_check: %s missing numeric \"%s\"\n",
+                   path.c_str(), key);
+      return 1;
+    }
+  }
+  for (size_t i = 0; i < events->elements().size(); ++i) {
+    const tempo::Json& e = events->elements()[i];
+    const tempo::Json* name = e.Find("name");
+    const tempo::Json* ph = e.Find("ph");
+    const tempo::Json* ts = e.Find("ts");
+    if (name == nullptr || !name->is_string() || ph == nullptr ||
+        !ph->is_string() || ts == nullptr || !ts->is_number()) {
+      std::fprintf(
+          stderr,
+          "telemetry_check: %s traceEvents[%llu] missing name/ph/ts\n",
+          path.c_str(), static_cast<unsigned long long>(i));
+      return 1;
+    }
+  }
+  std::printf("telemetry_check: %s OK — %llu events, %llu appended, "
+              "%llu dropped\n",
+              path.c_str(),
+              static_cast<unsigned long long>(events->elements().size()),
+              static_cast<unsigned long long>(
+                  doc->Find("events_appended")->AsNumber()),
+              static_cast<unsigned long long>(
+                  doc->Find("dropped_events")->AsNumber()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string jsonl;
+  std::string flight;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jsonl=", 0) == 0) {
+      jsonl = arg.substr(8);
+    } else if (arg.rfind("--flight=", 0) == 0) {
+      flight = arg.substr(9);
+    } else {
+      return Usage();
+    }
+  }
+  if (jsonl.empty() && flight.empty()) return Usage();
+  if (!jsonl.empty()) {
+    const int rc = CheckJsonl(jsonl);
+    if (rc != 0) return rc;
+  }
+  if (!flight.empty()) {
+    const int rc = CheckFlight(flight);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
